@@ -1,0 +1,606 @@
+// Command pdwbench is the experiment harness: it regenerates every figure
+// and claim of the paper (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for recorded outcomes).
+//
+// Usage:
+//
+//	pdwbench [-sf 0.01] [-nodes 8] [-seed 42] [experiment ...]
+//
+// Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 calibrate all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"pdwqo"
+	"pdwqo/internal/catalog"
+	"pdwqo/internal/cost"
+	"pdwqo/internal/engine"
+	"pdwqo/internal/stats"
+	"pdwqo/internal/tpch"
+	"pdwqo/internal/types"
+)
+
+var (
+	sf    = flag.Float64("sf", 0.01, "TPC-H scale factor")
+	nodes = flag.Int("nodes", 8, "compute nodes")
+	seed  = flag.Int64("seed", 42, "generator seed")
+)
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	experiments := map[string]func(*pdwqo.DB){
+		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
+		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
+		"e13": e13, "calibrate": calibrate,
+	}
+	order := []string{"e1", "e2", "e3", "e4", "calibrate", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
+
+	db, err := pdwqo.OpenTPCH(*sf, *nodes, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("appliance: TPC-H sf=%g, %d compute nodes, seed %d\n\n", *sf, *nodes, *seed)
+
+	for _, a := range args {
+		if a == "all" {
+			for _, name := range order {
+				experiments[name](db)
+			}
+			continue
+		}
+		fn, ok := experiments[a]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", a))
+		}
+		fn(db)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdwbench:", err)
+	os.Exit(1)
+}
+
+func header(id, title string) {
+	fmt.Printf("== %s: %s ==\n", id, title)
+}
+
+func mustPlan(db *pdwqo.DB, sql string, opts pdwqo.Options) *pdwqo.QueryPlan {
+	p, err := db.Optimize(sql, opts)
+	if err != nil {
+		fatal(err)
+	}
+	return p
+}
+
+func movesString(p *pdwqo.QueryPlan) string {
+	counts := p.Moves()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k.String())
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		n := 0
+		for kk, c := range counts {
+			if kk.String() == k {
+				n = c
+			}
+		}
+		parts[i] = fmt.Sprintf("%s×%d", k, n)
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// --- E1: Figure 3 — serial memo and its augmentation ---
+
+func e1(db *pdwqo.DB) {
+	header("E1", "Figure 3 — serial MEMO and distributed augmentation")
+	sql := `SELECT * FROM CUSTOMER C, ORDERS O
+	        WHERE C.c_custkey = O.o_custkey AND O.o_totalprice > 1000`
+	p := mustPlan(db, sql, pdwqo.Options{})
+	fmt.Println("query:", strings.Join(strings.Fields(sql), " "))
+	fmt.Println("\nserial memo (logical L / physical P expressions):")
+	fmt.Println(p.Memo)
+	fmt.Printf("exported MEMO XML: %d bytes\n", len(p.MemoXML))
+	fmt.Println("\naugmented (distributed) plan chosen by PDW QO:")
+	fmt.Println(p.Distributed.Root)
+	fmt.Printf("options considered %d, retained %d across %d groups\n\n",
+		p.Distributed.OptionsConsidered, p.Distributed.OptionsRetained, p.Distributed.Groups)
+}
+
+// --- E2: §2.4 — the two-step DSQL plan ---
+
+func e2(db *pdwqo.DB) {
+	header("E2", "§2.4 — DSQL plan for the Customer⋈Orders example")
+	sql := `SELECT * FROM customer c, orders o
+	        WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 1000`
+	p := mustPlan(db, sql, pdwqo.Options{})
+	fmt.Println(p.DSQL)
+	res, err := db.ExecutePlan(p)
+	if err != nil {
+		fatal(err)
+	}
+	ref, err := db.ExecuteSerial(sql)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("executed: %d rows (serial reference: %d)\n\n", len(res.Rows), len(ref.Rows))
+}
+
+// --- E3: §3.2 — serial-best vs parallel-best join order ---
+
+func e3(db *pdwqo.DB) {
+	header("E3", "§3.2 — parallelizing the best serial plan is not enough")
+	queries := []struct{ name, sql string }{
+		{"C⋈O⋈L", `SELECT c_name, SUM(l_extendedprice) AS s FROM customer, orders, lineitem
+			WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey GROUP BY c_name`},
+		{"q10", mustTPCH("q10")},
+		{"q18", mustTPCH("q18")},
+	}
+	fmt.Printf("%-8s %-14s %-14s %-8s %-28s %s\n", "query", "full cost", "baseline", "ratio", "full moves", "baseline moves")
+	for _, q := range queries {
+		full := mustPlan(db, q.sql, pdwqo.Options{Mode: pdwqo.ModeFull})
+		base := mustPlan(db, q.sql, pdwqo.Options{Mode: pdwqo.ModeSerialBaseline})
+		fmt.Printf("%-8s %-14.6g %-14.6g %-8.2f %-28s %s\n",
+			q.name, full.Cost(), base.Cost(), ratio(base.Cost(), full.Cost()),
+			movesString(full), movesString(base))
+	}
+	fmt.Println()
+}
+
+func mustTPCH(name string) string {
+	sql, ok := pdwqo.TPCHQuery(name)
+	if !ok {
+		fatal(fmt.Errorf("missing query %s", name))
+	}
+	return sql
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return -1
+	}
+	return a / b
+}
+
+// --- E4: Figure 7 — TPC-H Q20 ---
+
+func e4(db *pdwqo.DB) {
+	header("E4", "Figure 7 — parallel plan for TPC-H Q20")
+	p := mustPlan(db, mustTPCH("q20"), pdwqo.Options{})
+	fmt.Println(p.DSQL)
+	fmt.Println("moves:", movesString(p))
+	var local, global int
+	p.Distributed.Root.Visit(func(o *pdwqo.PlanOption) {
+		if o.Op == nil {
+			return
+		}
+		switch o.Op.OpName() {
+		case "LocalGroupBy":
+			local++
+		case "GlobalGroupBy":
+			global++
+		}
+	})
+	fmt.Printf("aggregation phases: %d local, %d global\n", local, global)
+	res, err := db.ExecutePlan(p)
+	if err != nil {
+		fatal(err)
+	}
+	ref, err := db.ExecuteSerial(mustTPCH("q20"))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("executed: %d qualifying suppliers (serial reference: %d)\n\n", len(res.Rows), len(ref.Rows))
+}
+
+// --- Calibration (§3.3.3) ---
+
+var calibrated *cost.Lambda
+
+func calibrate(db *pdwqo.DB) {
+	header("CAL", "§3.3.3 — λ calibration against the simulator")
+	l := engine.Calibrate(200000)
+	calibrated = &l
+	fmt.Printf("%-14s %12s\n", "component", "λ (ns/byte)")
+	fmt.Printf("%-14s %12.3f\n", "reader", l.ReaderDirect)
+	fmt.Printf("%-14s %12.3f\n", "reader+hash", l.ReaderHash)
+	fmt.Printf("%-14s %12.3f\n", "network", l.Network)
+	fmt.Printf("%-14s %12.3f\n", "writer", l.Writer)
+	fmt.Printf("%-14s %12.3f\n", "bulk copy", l.BulkCopy)
+	if l.ReaderHash <= l.ReaderDirect {
+		fmt.Println("note: hashing overhead not observable at this volume")
+	}
+	fmt.Println()
+}
+
+// --- E5: cost model validation — linearity and fitted-λ prediction ---
+
+// e5 validates the §3.3.3 model shape against the simulator: DMS step
+// response time must be linear in bytes moved (C = B·λ). An effective λ is
+// fitted per move kind from small volumes and used to predict the largest
+// volume (held out from the fit).
+func e5(db *pdwqo.DB) {
+	header("E5", "§3.3 — DMS cost: response time is linear in bytes (C = B·λ)")
+	if calibrated == nil {
+		calibrate(db)
+	}
+	type obs struct {
+		bytes float64
+		dur   float64 // ms
+	}
+	measure := func(scale float64, sql string, kind cost.MoveKind) obs {
+		db2, err := pdwqo.OpenTPCH(*sf*scale, *nodes, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		p := mustPlan(db2, sql, pdwqo.Options{})
+		var best *engine.StepMetric
+		for i := 0; i < 3; i++ {
+			a := db2.Appliance()
+			before := len(a.Metrics.Steps)
+			if _, err := db2.ExecutePlan(p); err != nil {
+				fatal(err)
+			}
+			for _, m := range a.Metrics.Steps[before:] {
+				m := m
+				if m.IsMove && m.Move == kind && (best == nil || m.Duration < best.Duration) {
+					best = &m
+				}
+			}
+		}
+		if best == nil {
+			fatal(fmt.Errorf("no %s step for %q at scale %g", kind, sql, scale))
+		}
+		return obs{bytes: float64(best.Bytes), dur: float64(best.Duration.Nanoseconds()) / 1e6}
+	}
+
+	workloads := []struct {
+		name string
+		sql  string
+		kind cost.MoveKind
+	}{
+		{"shuffle", `SELECT * FROM customer c, orders o WHERE c.c_custkey = o.o_custkey`, cost.Shuffle},
+		{"broadcast", `SELECT l_quantity FROM part, lineitem WHERE p_partkey = l_partkey AND p_name LIKE 'forest%'`, cost.Broadcast},
+	}
+	scales := []float64{0.25, 0.5, 1, 2}
+	fmt.Printf("%-10s %-7s %14s %12s %14s\n", "move", "scale", "bytes", "time(ms)", "ns/byte")
+	for _, w := range workloads {
+		var pts []obs
+		for _, sc := range scales {
+			o := measure(sc, w.sql, w.kind)
+			pts = append(pts, o)
+			fmt.Printf("%-10s %-7g %14.0f %12.3f %14.3f\n", w.name, sc, o.bytes, o.dur, o.dur*1e6/o.bytes)
+		}
+		// Fit λ on all but the largest scale; predict the largest.
+		var num, den float64
+		for _, o := range pts[:len(pts)-1] {
+			num += o.bytes * o.dur
+			den += o.bytes * o.bytes
+		}
+		lambda := num / den
+		last := pts[len(pts)-1]
+		pred := lambda * last.bytes
+		fmt.Printf("%-10s fitted λ=%.3f ns/byte; predicted %0.3fms vs measured %0.3fms (ratio %.2f)\n",
+			w.name, lambda*1e6, pred, last.dur, ratio(last.dur, pred))
+	}
+
+	fmt.Println("\nmodeled-cost linearity (analytic check):")
+	model := cost.NewModel(*nodes, *calibrated)
+	base := model.MoveCost(cost.Shuffle, 1000, 100)
+	for _, mult := range []float64{1, 2, 4, 8, 16} {
+		c := model.MoveCost(cost.Shuffle, 1000*mult, 100)
+		fmt.Printf("  bytes ×%-4g cost ×%.3f\n", mult, c/base)
+	}
+	fmt.Println()
+}
+
+// --- E6: the seven DMS operations across topologies ---
+
+func e6(db *pdwqo.DB) {
+	header("E6", "§3.3.2 — modeled cost of the seven DMS operations vs topology")
+	l := cost.DefaultLambda()
+	if calibrated != nil {
+		l = *calibrated
+	}
+	kinds := []cost.MoveKind{
+		cost.Shuffle, cost.PartitionMove, cost.ControlNodeMove, cost.Broadcast,
+		cost.Trim, cost.ReplicatedBroadcast, cost.RemoteCopySingle,
+	}
+	const rows, width = 1e6, 50
+	fmt.Printf("%-22s", "operation")
+	ns := []int{2, 4, 8, 16, 32}
+	for _, n := range ns {
+		fmt.Printf(" %12s", fmt.Sprintf("N=%d", n))
+	}
+	fmt.Println()
+	for _, k := range kinds {
+		fmt.Printf("%-22s", k)
+		for _, n := range ns {
+			m := cost.NewModel(n, l)
+			fmt.Printf(" %12.4g", m.MoveCost(k, rows, width))
+		}
+		fmt.Println()
+	}
+	fmt.Println("(cost units: λ·bytes; shuffle/trim scale with N, broadcast and gathers do not)")
+	fmt.Println()
+}
+
+// --- E7: plan quality, full vs parallelized-serial baseline ---
+
+func e7(db *pdwqo.DB) {
+	header("E7", "headline claim — PDW QO vs parallelizing the best serial plan")
+	fmt.Printf("%-6s %-13s %-13s %-7s %-11s %-11s %-7s %s\n",
+		"query", "cost(full)", "cost(base)", "ratio", "time(full)", "time(base)", "speedup", "rows")
+	var worse, equal int
+	for _, name := range pdwqo.TPCHQueryNames() {
+		sql := mustTPCH(name)
+		full := mustPlan(db, sql, pdwqo.Options{Mode: pdwqo.ModeFull})
+		base := mustPlan(db, sql, pdwqo.Options{Mode: pdwqo.ModeSerialBaseline})
+		tf, rf := timeExec(db, full)
+		tb, rb := timeExec(db, base)
+		if rf != rb {
+			fatal(fmt.Errorf("%s: result mismatch %d vs %d", name, rf, rb))
+		}
+		r := ratio(base.Cost(), full.Cost())
+		if r > 1.001 {
+			worse++
+		} else {
+			equal++
+		}
+		fmt.Printf("%-6s %-13.6g %-13.6g %-7.2f %-11s %-11s %-7.2f %d\n",
+			name, full.Cost(), base.Cost(), r,
+			tf.Round(time.Millisecond), tb.Round(time.Millisecond),
+			ratio(float64(tb), float64(tf)), rf)
+	}
+	fmt.Printf("baseline strictly worse on %d queries, tied on %d; never better.\n\n", worse, equal)
+}
+
+func timeExec(db *pdwqo.DB, p *pdwqo.QueryPlan) (time.Duration, int) {
+	best := time.Duration(1 << 62)
+	rows := 0
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		res, err := db.ExecutePlan(p)
+		if err != nil {
+			fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		rows = len(res.Rows)
+	}
+	return best, rows
+}
+
+// --- E8: interesting-property retention ablation ---
+
+func e8(db *pdwqo.DB) {
+	header("E8", "Figure 4 step 06.ii — pruning with vs without interesting properties")
+	fmt.Printf("%-6s %-13s %-13s %-7s %-9s %s\n", "query", "cost(on)", "cost(off)", "ratio", "opts(on)", "opts(off)")
+	for _, name := range pdwqo.TPCHQueryNames() {
+		sql := mustTPCH(name)
+		on := mustPlan(db, sql, pdwqo.Options{})
+		off := mustPlan(db, sql, pdwqo.Options{DisableInterestingRetention: true})
+		fmt.Printf("%-6s %-13.6g %-13.6g %-7.2f %-9d %d\n",
+			name, on.Cost(), off.Cost(), ratio(off.Cost(), on.Cost()),
+			on.Distributed.OptionsRetained, off.Distributed.OptionsRetained)
+	}
+	fmt.Println()
+}
+
+// --- E9: local/global aggregation ablation ---
+
+func e9(db *pdwqo.DB) {
+	header("E9", "§4 — local/global aggregation ablation")
+	queries := []struct{ name, sql string }{
+		{"widegb", `SELECT l_partkey, COUNT(*) AS c, SUM(l_extendedprice) AS s,
+			MIN(l_shipdate) AS d, MAX(l_quantity) AS q FROM lineitem GROUP BY l_partkey`},
+		{"scalar", `SELECT SUM(l_extendedprice) AS s, COUNT(*) AS c FROM lineitem`},
+		{"q01", mustTPCH("q01")},
+		{"q20", mustTPCH("q20")},
+	}
+	fmt.Printf("%-8s %-13s %-13s %-7s %-14s %s\n", "query", "cost(split)", "cost(off)", "ratio", "bytes(split)", "bytes(off)")
+	for _, q := range queries {
+		on := mustPlan(db, q.sql, pdwqo.Options{})
+		off := mustPlan(db, q.sql, pdwqo.Options{DisableLocalGlobalAgg: true})
+		bOn := bytesMoved(db, on)
+		bOff := bytesMoved(db, off)
+		fmt.Printf("%-8s %-13.6g %-13.6g %-7.2f %-14d %d\n",
+			q.name, on.Cost(), off.Cost(), ratio(off.Cost(), on.Cost()), bOn, bOff)
+	}
+	fmt.Println()
+}
+
+func bytesMoved(db *pdwqo.DB, p *pdwqo.QueryPlan) int64 {
+	a := db.Appliance()
+	before := a.Metrics.TotalBytesMoved()
+	if _, err := db.ExecutePlan(p); err != nil {
+		fatal(err)
+	}
+	return a.Metrics.TotalBytesMoved() - before
+}
+
+// --- E10: optimization budget (timeout) sweep ---
+
+func e10(db *pdwqo.DB) {
+	header("E10", "§3.1 — optimizer timeout: plan quality vs budget, with/without seeding")
+	// q05's join graph with a deliberately scrambled FROM order: the
+	// normalized initial plan starts from cross joins, so a starved search
+	// depends entirely on what the memo was seeded with.
+	sql := `SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+	        FROM customer, region, lineitem, supplier, orders, nation
+	        WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+	          AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+	          AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+	          AND r_name = 'ASIA'
+	          AND o_orderdate >= '1994-01-01'
+	          AND o_orderdate < DATEADD(year, 1, '1994-01-01')
+	        GROUP BY n_name`
+	fmt.Printf("%-8s %-9s %-13s %-13s %-8s %s\n", "budget", "groups", "cost", "cost(seeded)", "ratio", "exhausted")
+	for _, budget := range []int{50, 200, 1000, 5000, 20000} {
+		p := mustPlan(db, sql, pdwqo.Options{Budget: budget})
+		ps := mustPlan(db, sql, pdwqo.Options{Budget: budget, SeedCollocated: true})
+		fmt.Printf("%-8d %-9d %-13.6g %-13.6g %-8.2f %v\n",
+			budget, p.Memo.NumGroups(), p.Cost(), ps.Cost(), ratio(p.Cost(), ps.Cost()), p.Memo.Exhausted())
+	}
+	fmt.Println("(the paper's seeding: distribution-aware initial plans keep quality when the")
+	fmt.Println(" timeout bites before exploration reaches collocated join orders)")
+	fmt.Println()
+}
+
+// --- E11: end-to-end correctness ---
+
+func e11(db *pdwqo.DB) {
+	header("E11", "Figure 2 pipeline — distributed results ≡ single-node reference")
+	fmt.Printf("%-6s %-8s %-8s %s\n", "query", "dist", "serial", "match")
+	for _, name := range pdwqo.TPCHQueryNames() {
+		sql := mustTPCH(name)
+		dist, err := db.Execute(sql, pdwqo.Options{})
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		ref, err := db.ExecuteSerial(sql)
+		if err != nil {
+			fatal(fmt.Errorf("%s serial: %w", name, err))
+		}
+		match := len(dist.Rows) == len(ref.Rows)
+		fmt.Printf("%-6s %-8d %-8d %v\n", name, len(dist.Rows), len(ref.Rows), match)
+		if !match {
+			fatal(fmt.Errorf("%s: result mismatch", name))
+		}
+	}
+	fmt.Println()
+}
+
+// --- E12: statistics merge quality ---
+
+func e12(db *pdwqo.DB) {
+	header("E12", "§2.2 — local→global statistics merge accuracy")
+	shell, data, err := tpch.BuildShell(*sf, *nodes, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-12s %-14s %12s %12s %8s\n", "table", "column", "true NDV", "merged NDV", "err%")
+	for _, tbl := range tpch.Tables() {
+		if tbl.Dist.Kind != catalog.DistHash {
+			// Replicated tables are not merged (one replica's stats are
+			// used directly).
+			continue
+		}
+		rows := data[tbl.Name]
+		for ci, col := range tbl.Columns {
+			vals := make([]types.Value, len(rows))
+			for ri, r := range rows {
+				vals[ri] = r[ci]
+			}
+			direct := stats.BuildColumn(vals)
+			merged := shell.Table(tbl.Name).Stats.Column(col.Name)
+			if merged == nil || direct.NDV == 0 {
+				continue
+			}
+			errPct := 100 * (merged.NDV - direct.NDV) / direct.NDV
+			fmt.Printf("%-12s %-14s %12.0f %12.1f %8.1f\n", tbl.Name, col.Name, direct.NDV, merged.NDV, errPct)
+		}
+	}
+	// Cardinality estimation vs actual for the suite roots.
+	fmt.Printf("\n%-6s %14s %14s %8s\n", "query", "estimated", "actual", "q-error")
+	for _, q := range tpch.Queries() {
+		est, actual, err := rootCardinality(db, q.SQL)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", q.Name, err))
+		}
+		qe := qerror(est, actual)
+		fmt.Printf("%-6s %14.4g %14d %8.2f\n", q.Name, est, actual, qe)
+	}
+	fmt.Println()
+}
+
+// --- E13: the uniformity assumption under skew ---
+
+// e13 violates the §3.3.1 uniformity assumption with power-law foreign
+// keys: the modeled shuffle cost (which divides bytes evenly by N) stays
+// flat while the real per-node maximum share — the actual response-time
+// bound — grows toward the full volume.
+func e13(db *pdwqo.DB) {
+	header("E13", "§3.3.1 — uniformity assumption under foreign-key skew")
+	// A raw shuffle of orders on the (skewed) o_custkey: the narrow
+	// projection makes the shuffle cheaper than broadcasting customer, and
+	// no aggregation below the move absorbs the imbalance.
+	sql := `SELECT c_name, o_orderkey FROM customer, orders WHERE c_custkey = o_custkey`
+	fmt.Printf("%-6s %-13s %-12s %-14s %-10s %s\n",
+		"skew", "modeled", "bytes", "max-node", "imbalance", "time(ms)")
+	for _, skew := range []float64{1, 1.5, 2, 4, 8} {
+		dbs, err := pdwqo.OpenTPCHSkewed(*sf, *nodes, *seed, skew)
+		if err != nil {
+			fatal(err)
+		}
+		p := mustPlan(dbs, sql, pdwqo.Options{})
+		a := dbs.Appliance()
+		before := len(a.Metrics.Steps)
+		var best time.Duration = 1 << 62
+		var m engine.StepMetric
+		for i := 0; i < 3; i++ {
+			if _, err := dbs.ExecutePlan(p); err != nil {
+				fatal(err)
+			}
+		}
+		for _, sm := range a.Metrics.Steps[before:] {
+			if sm.IsMove && sm.Duration < best {
+				best, m = sm.Duration, sm
+			}
+		}
+		imbalance := 0.0
+		if m.Bytes > 0 {
+			imbalance = float64(m.MaxNodeBytes) * float64(*nodes) / float64(m.Bytes)
+		}
+		fmt.Printf("%-6g %-13.6g %-12d %-14d %-10.2f %.3f\n",
+			skew, p.Cost(), m.Bytes, m.MaxNodeBytes, imbalance, float64(best.Nanoseconds())/1e6)
+	}
+	fmt.Println("(imbalance = max-node share ÷ uniform share; the model assumes 1.0)")
+	fmt.Println()
+}
+
+func rootCardinality(db *pdwqo.DB, sql string) (float64, int, error) {
+	p, err := db.Optimize(sql, pdwqo.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := db.ExecutePlan(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p.Distributed.Root.Rows, len(res.Rows), nil
+}
+
+func qerror(est float64, actual int) float64 {
+	a := float64(actual)
+	if a < 1 {
+		a = 1
+	}
+	if est < 1 {
+		est = 1
+	}
+	if est > a {
+		return est / a
+	}
+	return a / est
+}

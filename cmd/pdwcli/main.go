@@ -1,0 +1,108 @@
+// Command pdwcli runs ad-hoc SQL against a generated TPC-H appliance,
+// printing the distributed plan and/or results — the "client connection"
+// of the paper's Figure 1, one query at a time.
+//
+// Usage:
+//
+//	pdwcli [-sf 0.01] [-nodes 8] [-seed 42] [-explain] [-serial]
+//	       [-baseline] (-q "SELECT ..." | -tpch q20)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdwqo"
+)
+
+func main() {
+	var (
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		nodes    = flag.Int("nodes", 8, "compute nodes")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		query    = flag.String("q", "", "SQL text to run")
+		tpchName = flag.String("tpch", "", "run a named TPC-H query (q01..q20)")
+		explain  = flag.Bool("explain", false, "print the plan instead of executing")
+		serial   = flag.Bool("serial", false, "also run the single-node reference and compare")
+		baseline = flag.Bool("baseline", false, "use the parallelized-best-serial-plan mode")
+		maxRows  = flag.Int("rows", 20, "max result rows to print")
+	)
+	flag.Parse()
+
+	sql := *query
+	if *tpchName != "" {
+		var ok bool
+		sql, ok = pdwqo.TPCHQuery(*tpchName)
+		if !ok {
+			fail(fmt.Errorf("unknown TPC-H query %q (have %v)", *tpchName, pdwqo.TPCHQueryNames()))
+		}
+	}
+	if sql == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db, err := pdwqo.OpenTPCH(*sf, *nodes, *seed)
+	if err != nil {
+		fail(err)
+	}
+	opts := pdwqo.Options{}
+	if *baseline {
+		opts.Mode = pdwqo.ModeSerialBaseline
+	}
+	plan, err := db.Optimize(sql, opts)
+	if err != nil {
+		fail(err)
+	}
+	if *explain {
+		fmt.Println(plan.Explain())
+		return
+	}
+	res, err := db.ExecutePlan(plan)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("-- %d rows, DMS cost %.6g, moves %v\n", len(res.Rows), plan.Cost(), plan.Moves())
+	printRows(res, *maxRows)
+	if *serial {
+		ref, err := db.ExecuteSerial(sql)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("-- serial reference: %d rows (match: %v)\n", len(ref.Rows), len(ref.Rows) == len(res.Rows))
+	}
+}
+
+func printRows(res *pdwqo.Result, max int) {
+	fmt.Println(joinCols(res.Columns))
+	for i, row := range res.Rows {
+		if i == max {
+			fmt.Printf("... (%d more)\n", len(res.Rows)-max)
+			return
+		}
+		for j, v := range row {
+			if j > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Print(v)
+		}
+		fmt.Println()
+	}
+}
+
+func joinCols(cols []string) string {
+	out := ""
+	for i, c := range cols {
+		if i > 0 {
+			out += " | "
+		}
+		out += c
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pdwcli:", err)
+	os.Exit(1)
+}

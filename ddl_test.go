@@ -1,0 +1,75 @@
+package pdwqo
+
+import (
+	"testing"
+
+	"pdwqo/internal/types"
+)
+
+func TestCustomSchemaFromDDL(t *testing.T) {
+	shell, err := NewShellFromDDL(4,
+		`CREATE TABLE events (
+			ev_id BIGINT PRIMARY KEY,
+			ev_user BIGINT,
+			ev_kind VARCHAR(10),
+			ev_when DATE
+		) WITH (DISTRIBUTION = HASH(ev_id))`,
+		`CREATE TABLE users (
+			u_id BIGINT PRIMARY KEY,
+			u_name VARCHAR(30)
+		) WITH (DISTRIBUTION = HASH(u_id))`,
+		`CREATE TABLE kinds (k_kind VARCHAR(10), k_desc VARCHAR(40))
+		 WITH (DISTRIBUTION = REPLICATE)`,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := map[string][]types.Row{}
+	for i := int64(0); i < 400; i++ {
+		data["events"] = append(data["events"], types.Row{
+			types.NewInt(i), types.NewInt(i % 40),
+			types.NewString([]string{"click", "view", "buy"}[i%3]),
+			types.NewDate(10000 + i%30),
+		})
+	}
+	for i := int64(0); i < 40; i++ {
+		data["users"] = append(data["users"], types.Row{
+			types.NewInt(i), types.NewString("user" + types.NewInt(i).String()),
+		})
+	}
+	for _, k := range []string{"click", "view", "buy"} {
+		data["kinds"] = append(data["kinds"], types.Row{
+			types.NewString(k), types.NewString("kind " + k),
+		})
+	}
+	db, err := Open(shell, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Statistics were derived automatically.
+	if shell.Table("events").RowCount() != 400 {
+		t.Errorf("auto stats: %v", shell.Table("events").RowCount())
+	}
+	// A join needing movement optimizes and executes correctly.
+	sql := `SELECT u_name, COUNT(*) AS c
+	        FROM events, users, kinds
+	        WHERE ev_user = u_id AND ev_kind = k_kind AND k_kind = 'buy'
+	        GROUP BY u_name`
+	assertSameResults(t, db, sql, Options{}, false)
+	plan, err := db.Optimize(sql, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves()) == 0 {
+		t.Error("expected data movement for the incompatible join")
+	}
+}
+
+func TestNewShellFromDDLErrors(t *testing.T) {
+	if _, err := NewShellFromDDL(2, "SELECT 1"); err == nil {
+		t.Error("non-DDL must fail")
+	}
+	if _, err := NewShellFromDDL(2, "CREATE TABLE t (a INT) WITH (DISTRIBUTION = HASH(b))"); err == nil {
+		t.Error("bad distribution column must fail")
+	}
+}

@@ -1,0 +1,3 @@
+module pdwqo
+
+go 1.22

@@ -1,0 +1,81 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func setFrom(ids []uint8) ColSet {
+	s := NewColSet()
+	for _, id := range ids {
+		s.Add(ColumnID(id % 64))
+	}
+	return s
+}
+
+func TestColSetSubsetReflexive(t *testing.T) {
+	f := func(ids []uint8) bool {
+		s := setFrom(ids)
+		return s.SubsetOf(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColSetUnionIsUpperBound(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		sa, sb := setFrom(a), setFrom(b)
+		u := NewColSet()
+		u.AddSet(sa)
+		u.AddSet(sb)
+		return sa.SubsetOf(u) && sb.SubsetOf(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColSetIntersectsSymmetric(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		sa, sb := setFrom(a), setFrom(b)
+		return sa.Intersects(sb) == sb.Intersects(sa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColSetSortedIsSortedAndComplete(t *testing.T) {
+	f := func(a []uint8) bool {
+		s := setFrom(a)
+		ids := s.Sorted()
+		if len(ids) != len(s) {
+			return false
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i-1] >= ids[i] {
+				return false
+			}
+		}
+		for _, id := range ids {
+			if !s.Has(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColSetStringDeterministic(t *testing.T) {
+	f := func(a []uint8) bool {
+		s1, s2 := setFrom(a), setFrom(a)
+		return s1.String() == s2.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

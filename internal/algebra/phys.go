@@ -1,0 +1,36 @@
+package algebra
+
+// Phys marks an operator payload as a physical implementation of a logical
+// operator: a Get implemented by a table scan, a Join by a hash join, and
+// so on. The serial optimizer and the PDW optimizer both build plans out
+// of Phys nodes; PDW additionally defines its own data-movement payloads.
+type Phys struct {
+	Algo string // e.g. "TableScan", "HashJoin", "HashAggregate"
+	Of   Operator
+}
+
+// NewPhys wraps a logical payload in a physical algorithm choice.
+func NewPhys(algo string, of Operator) *Phys { return &Phys{Algo: algo, Of: of} }
+
+// OpName implements Operator.
+func (p *Phys) OpName() string { return p.Algo }
+
+// Arity implements Operator.
+func (p *Phys) Arity() int { return p.Of.Arity() }
+
+// Fingerprint implements Operator.
+func (p *Phys) Fingerprint() string { return p.Algo + "{" + p.Of.Fingerprint() + "}" }
+
+// Physical algorithm names used by the serial optimizer.
+const (
+	AlgoTableScan  = "TableScan"
+	AlgoValuesScan = "ValuesScan"
+	AlgoFilter     = "Filter"
+	AlgoCompute    = "ComputeScalar"
+	AlgoHashJoin   = "HashJoin"
+	AlgoLoopJoin   = "NestedLoopJoin"
+	AlgoHashAgg    = "HashAggregate"
+	AlgoStreamAgg  = "StreamAggregate"
+	AlgoSort       = "Sort"
+	AlgoConcat     = "Concatenation"
+)

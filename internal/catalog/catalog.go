@@ -1,0 +1,201 @@
+// Package catalog implements the PDW "shell database" (paper §2.2): a
+// metadata-only image of the appliance. It records every table's schema,
+// its distribution across compute nodes (hash-partitioned or replicated),
+// primary keys, and the merged global statistics — everything compilation
+// and optimization need, with no user data.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdwqo/internal/stats"
+	"pdwqo/internal/types"
+)
+
+// DistKind classifies how a table's rows are placed on compute nodes.
+type DistKind uint8
+
+const (
+	// DistHash spreads rows across compute nodes by hashing the
+	// distribution column.
+	DistHash DistKind = iota
+	// DistReplicated stores a full copy of the table on every compute node.
+	DistReplicated
+)
+
+// String names the distribution kind the way PDW DDL does.
+func (k DistKind) String() string {
+	if k == DistReplicated {
+		return "REPLICATE"
+	}
+	return "HASH"
+}
+
+// Distribution describes a table's placement.
+type Distribution struct {
+	Kind   DistKind
+	Column string // distribution column for DistHash; empty otherwise
+}
+
+// String renders the placement, e.g. "HASH(o_orderkey)" or "REPLICATE".
+func (d Distribution) String() string {
+	if d.Kind == DistHash {
+		return fmt.Sprintf("HASH(%s)", d.Column)
+	}
+	return "REPLICATE"
+}
+
+// Column is one column of a table.
+type Column struct {
+	Name string
+	Type types.Kind
+}
+
+// Table is the shell-database image of one user table.
+type Table struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey []string // empty when no key is declared
+	Dist       Distribution
+	Stats      *stats.Table // merged global statistics; may be nil
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	if i := t.ColumnIndex(name); i >= 0 {
+		return &t.Columns[i]
+	}
+	return nil
+}
+
+// RowCount returns the global row count from statistics (0 without stats).
+func (t *Table) RowCount() float64 {
+	if t.Stats == nil {
+		return 0
+	}
+	return t.Stats.RowCount
+}
+
+// AvgRowWidth returns the statistical average row width in bytes, falling
+// back to a type-based estimate when statistics are absent.
+func (t *Table) AvgRowWidth() float64 {
+	if t.Stats != nil && t.Stats.AvgRowWidth > 0 {
+		return t.Stats.AvgRowWidth
+	}
+	w := 0.0
+	for _, c := range t.Columns {
+		w += float64(c.Type.Width())
+	}
+	return w
+}
+
+// IsPrimaryKey reports whether cols (in any order) covers the primary key.
+func (t *Table) IsPrimaryKey(cols []string) bool {
+	if len(t.PrimaryKey) == 0 || len(cols) < len(t.PrimaryKey) {
+		return false
+	}
+	for _, pk := range t.PrimaryKey {
+		found := false
+		for _, c := range cols {
+			if strings.EqualFold(pk, c) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Topology describes the appliance (paper §2.1): homogeneous compute nodes
+// behind a single control node.
+type Topology struct {
+	ComputeNodes int
+}
+
+// Shell is the shell database: the single-system image of the appliance.
+type Shell struct {
+	Topology Topology
+	tables   map[string]*Table
+}
+
+// NewShell returns an empty shell database for an appliance with n compute
+// nodes.
+func NewShell(n int) *Shell {
+	return &Shell{Topology: Topology{ComputeNodes: n}, tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table, validating schema and distribution metadata.
+func (s *Shell) AddTable(t *Table) error {
+	if t.Name == "" {
+		return fmt.Errorf("catalog: table with empty name")
+	}
+	key := strings.ToLower(t.Name)
+	if _, ok := s.tables[key]; ok {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("catalog: table %q has no columns", t.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range t.Columns {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return fmt.Errorf("catalog: table %q: duplicate column %q", t.Name, c.Name)
+		}
+		seen[lc] = true
+	}
+	if t.Dist.Kind == DistHash {
+		if t.ColumnIndex(t.Dist.Column) < 0 {
+			return fmt.Errorf("catalog: table %q: distribution column %q not found", t.Name, t.Dist.Column)
+		}
+	} else if t.Dist.Column != "" {
+		return fmt.Errorf("catalog: table %q: replicated table cannot name a distribution column", t.Name)
+	}
+	for _, pk := range t.PrimaryKey {
+		if t.ColumnIndex(pk) < 0 {
+			return fmt.Errorf("catalog: table %q: primary-key column %q not found", t.Name, pk)
+		}
+	}
+	s.tables[key] = t
+	return nil
+}
+
+// Table resolves a table by name (case-insensitive), or nil.
+func (s *Shell) Table(name string) *Table {
+	return s.tables[strings.ToLower(name)]
+}
+
+// Tables returns every table sorted by name, for deterministic iteration.
+func (s *Shell) Tables() []*Table {
+	out := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetStats attaches merged global statistics to the named table.
+func (s *Shell) SetStats(table string, st *stats.Table) error {
+	t := s.Table(table)
+	if t == nil {
+		return fmt.Errorf("catalog: unknown table %q", table)
+	}
+	t.Stats = st
+	return nil
+}

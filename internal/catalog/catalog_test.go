@@ -1,0 +1,155 @@
+package catalog
+
+import (
+	"testing"
+
+	"pdwqo/internal/stats"
+	"pdwqo/internal/types"
+)
+
+func ordersTable() *Table {
+	return &Table{
+		Name: "Orders",
+		Columns: []Column{
+			{Name: "o_orderkey", Type: types.KindInt},
+			{Name: "o_custkey", Type: types.KindInt},
+			{Name: "o_totalprice", Type: types.KindFloat},
+			{Name: "o_orderdate", Type: types.KindDate},
+		},
+		PrimaryKey: []string{"o_orderkey"},
+		Dist:       Distribution{Kind: DistHash, Column: "o_orderkey"},
+	}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	s := NewShell(8)
+	if s.Topology.ComputeNodes != 8 {
+		t.Fatal("topology")
+	}
+	if err := s.AddTable(ordersTable()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Table("ORDERS") == nil || s.Table("orders") == nil {
+		t.Error("lookup must be case-insensitive")
+	}
+	if s.Table("nope") != nil {
+		t.Error("unknown table must be nil")
+	}
+	if err := s.AddTable(ordersTable()); err == nil {
+		t.Error("duplicate table must error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := NewShell(2)
+	if err := s.AddTable(&Table{Name: ""}); err == nil {
+		t.Error("empty name")
+	}
+	if err := s.AddTable(&Table{Name: "t"}); err == nil {
+		t.Error("no columns")
+	}
+	if err := s.AddTable(&Table{Name: "t", Columns: []Column{{Name: "a"}, {Name: "A"}}}); err == nil {
+		t.Error("duplicate columns")
+	}
+	if err := s.AddTable(&Table{
+		Name: "t", Columns: []Column{{Name: "a"}},
+		Dist: Distribution{Kind: DistHash, Column: "b"},
+	}); err == nil {
+		t.Error("bad distribution column")
+	}
+	if err := s.AddTable(&Table{
+		Name: "t", Columns: []Column{{Name: "a"}},
+		Dist: Distribution{Kind: DistReplicated, Column: "a"},
+	}); err == nil {
+		t.Error("replicated with distribution column")
+	}
+	if err := s.AddTable(&Table{
+		Name: "t", Columns: []Column{{Name: "a"}}, PrimaryKey: []string{"z"},
+		Dist: Distribution{Kind: DistReplicated},
+	}); err == nil {
+		t.Error("bad primary key column")
+	}
+}
+
+func TestColumnHelpers(t *testing.T) {
+	tbl := ordersTable()
+	if tbl.ColumnIndex("O_CUSTKEY") != 1 {
+		t.Error("case-insensitive column index")
+	}
+	if tbl.ColumnIndex("missing") != -1 {
+		t.Error("missing column index")
+	}
+	if c := tbl.Column("o_orderdate"); c == nil || c.Type != types.KindDate {
+		t.Error("column lookup")
+	}
+	if !tbl.IsPrimaryKey([]string{"extra", "O_ORDERKEY"}) {
+		t.Error("superset covers PK")
+	}
+	if tbl.IsPrimaryKey([]string{"o_custkey"}) {
+		t.Error("non-key columns are not a PK")
+	}
+	if (&Table{Name: "x", Columns: []Column{{Name: "a"}}}).IsPrimaryKey([]string{"a"}) {
+		t.Error("no declared PK means false")
+	}
+}
+
+func TestStatsAttachment(t *testing.T) {
+	s := NewShell(4)
+	tbl := ordersTable()
+	if err := s.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 0 {
+		t.Error("no stats yet")
+	}
+	st, err := stats.BuildTable(map[string][]types.Value{
+		"o_orderkey": {types.NewInt(1), types.NewInt(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetStats("orders", st); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 2 {
+		t.Error("rowcount from stats")
+	}
+	if err := s.SetStats("missing", st); err == nil {
+		t.Error("unknown table must error")
+	}
+}
+
+func TestAvgRowWidthFallback(t *testing.T) {
+	tbl := ordersTable()
+	// No stats: 8 + 8 + 8 + 4 = 28 bytes.
+	if w := tbl.AvgRowWidth(); w != 28 {
+		t.Errorf("fallback width = %v", w)
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	s := NewShell(2)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		tbl := &Table{
+			Name:    n,
+			Columns: []Column{{Name: "a", Type: types.KindInt}},
+			Dist:    Distribution{Kind: DistReplicated},
+		}
+		if err := s.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Tables()
+	if len(got) != 3 || got[0].Name != "alpha" || got[2].Name != "zeta" {
+		t.Errorf("tables not sorted: %v", got)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if (Distribution{Kind: DistHash, Column: "k"}).String() != "HASH(k)" {
+		t.Error("hash string")
+	}
+	if (Distribution{Kind: DistReplicated}).String() != "REPLICATE" {
+		t.Error("replicate string")
+	}
+}

@@ -1,0 +1,174 @@
+// Package cost implements the PDW cost model (paper §3.3): response-time
+// costing of DMS (data movement) operations only. Each DMS operator is a
+// source (reader + network) and a target (writer + SQL bulk copy); each
+// component costs λ per byte processed, and asynchronous components
+// compose by max:
+//
+//	C_source = max(C_reader, C_network)
+//	C_target = max(C_writer, C_SQLBlkCpy)
+//	C_DMS    = max(C_source, C_target)
+//
+// Under the uniformity and homogeneity assumptions, per-component bytes B
+// are (Y·w)/N for distributed streams and Y·w for replicated streams.
+package cost
+
+import "fmt"
+
+// MoveKind enumerates the seven physical data movement operations of
+// §3.3.2.
+type MoveKind uint8
+
+// The seven DMS operations.
+const (
+	// Shuffle re-partitions rows across compute nodes by a hash column
+	// (many-to-many).
+	Shuffle MoveKind = iota
+	// PartitionMove gathers rows from every compute node onto one node,
+	// typically the control node (many-to-one).
+	PartitionMove
+	// ControlNodeMove replicates a control-node table to all compute
+	// nodes (one-to-many).
+	ControlNodeMove
+	// Broadcast replicates rows from every compute node to all compute
+	// nodes (many-to-all).
+	Broadcast
+	// Trim re-distributes a replicated table in place: each node hashes
+	// and keeps only the rows it is responsible for. No network transfer.
+	Trim
+	// ReplicatedBroadcast replicates a table present on a single compute
+	// node to all compute nodes.
+	ReplicatedBroadcast
+	// RemoteCopySingle copies a table to a single node.
+	RemoteCopySingle
+)
+
+// String names the move the way plan output does.
+func (k MoveKind) String() string {
+	switch k {
+	case Shuffle:
+		return "SHUFFLE"
+	case PartitionMove:
+		return "PARTITION-MOVE"
+	case ControlNodeMove:
+		return "CONTROL-NODE-MOVE"
+	case Broadcast:
+		return "BROADCAST"
+	case Trim:
+		return "TRIM"
+	case ReplicatedBroadcast:
+		return "REPLICATED-BROADCAST"
+	case RemoteCopySingle:
+		return "REMOTE-COPY"
+	default:
+		return fmt.Sprintf("MOVE(%d)", uint8(k))
+	}
+}
+
+// Hashes reports whether the move's reader hashes each tuple to route it,
+// which costs λ_hash instead of λ_direct (§3.3.3).
+func (k MoveKind) Hashes() bool { return k == Shuffle || k == Trim }
+
+// Lambda holds the calibrated cost-per-byte constants, one per DMS
+// component (§3.3.3 "cost calibration"). The reader has two constants to
+// account for hashing overhead on Shuffle/Trim.
+type Lambda struct {
+	ReaderDirect float64
+	ReaderHash   float64
+	Network      float64
+	Writer       float64
+	BulkCopy     float64
+}
+
+// DefaultLambda is a reasonable pre-calibration default: bulk copy into
+// the temp table is the most expensive component, hashing readers beat
+// direct reads, network sits in between. `pdwbench calibrate` fits these
+// against the simulator.
+func DefaultLambda() Lambda {
+	return Lambda{
+		ReaderDirect: 1.0,
+		ReaderHash:   1.35,
+		Network:      1.2,
+		Writer:       0.9,
+		BulkCopy:     2.1,
+	}
+}
+
+// Model is the PDW cost model for a concrete appliance topology.
+type Model struct {
+	Lambda Lambda
+	Nodes  int // number of compute nodes (N)
+}
+
+// NewModel builds a model over n compute nodes.
+func NewModel(n int, l Lambda) Model { return Model{Lambda: l, Nodes: n} }
+
+// componentBytes returns the bytes processed by each component for a move
+// of Y rows of width w: reader, network, writer, bulk copy.
+func (m Model) componentBytes(kind MoveKind, rows, width float64) (r, n, w, b float64) {
+	Y := rows * width
+	N := float64(m.Nodes)
+	if N < 1 {
+		N = 1
+	}
+	dist := Y / N // per-node share of a distributed stream
+	switch kind {
+	case Shuffle:
+		// Distributed in, distributed out.
+		return dist, dist, dist, dist
+	case PartitionMove:
+		// Distributed sources; a single receiving node takes the whole
+		// stream.
+		return dist, dist, Y, Y
+	case ControlNodeMove:
+		// One sending node streams the full table; every compute node
+		// writes a full copy (replicated stream).
+		return Y, Y, Y, Y
+	case Broadcast:
+		// Distributed read; every node ships its share to all peers and
+		// writes the full table (replicated stream on the target side).
+		return dist, Y * (N - 1) / N, Y, Y
+	case Trim:
+		// Local hash-and-keep: full replicated table read on each node,
+		// no network, distributed write.
+		return Y, 0, dist, dist
+	case ReplicatedBroadcast:
+		// Single source node; replicated target stream.
+		return Y, Y, Y, Y
+	case RemoteCopySingle:
+		return Y, Y, Y, Y
+	}
+	return Y, Y, Y, Y
+}
+
+// MoveCost returns the response-time cost of a DMS operation moving Y=rows
+// tuples of width w bytes, per the max-composition model.
+func (m Model) MoveCost(kind MoveKind, rows, width float64) float64 {
+	if rows <= 0 || width <= 0 {
+		return 0
+	}
+	rb, nb, wb, bb := m.componentBytes(kind, rows, width)
+	reader := m.Lambda.ReaderDirect
+	if kind.Hashes() {
+		reader = m.Lambda.ReaderHash
+	}
+	cSource := maxf(rb*reader, nb*m.Lambda.Network)
+	cTarget := maxf(wb*m.Lambda.Writer, bb*m.Lambda.BulkCopy)
+	return maxf(cSource, cTarget)
+}
+
+// Components returns the per-component costs for diagnostics (E5).
+func (m Model) Components(kind MoveKind, rows, width float64) (reader, network, writer, bulk float64) {
+	rb, nb, wb, bb := m.componentBytes(kind, rows, width)
+	rl := m.Lambda.ReaderDirect
+	if kind.Hashes() {
+		rl = m.Lambda.ReaderHash
+	}
+	return rb * rl, nb * m.Lambda.Network, wb * m.Lambda.Writer, bb * m.Lambda.BulkCopy
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func model(n int) Model { return NewModel(n, DefaultLambda()) }
+
+func TestMoveKindStrings(t *testing.T) {
+	kinds := []MoveKind{Shuffle, PartitionMove, ControlNodeMove, Broadcast, Trim, ReplicatedBroadcast, RemoteCopySingle}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("bad or duplicate name for %d: %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestHashingMovesUseHashLambda(t *testing.T) {
+	if !Shuffle.Hashes() || !Trim.Hashes() {
+		t.Error("shuffle and trim hash tuples")
+	}
+	if Broadcast.Hashes() || PartitionMove.Hashes() {
+		t.Error("broadcast/partition do not hash")
+	}
+	// With identical B, a shuffle-with-hash reader must never be cheaper
+	// than a hypothetical direct reader.
+	m := model(8)
+	direct := m
+	direct.Lambda.ReaderHash = direct.Lambda.ReaderDirect
+	if m.MoveCost(Shuffle, 1e6, 100) < direct.MoveCost(Shuffle, 1e6, 100) {
+		t.Error("λ_hash must not reduce cost")
+	}
+}
+
+func TestCostLinearInBytes(t *testing.T) {
+	m := model(8)
+	c1 := m.MoveCost(Shuffle, 1000, 100)
+	c2 := m.MoveCost(Shuffle, 2000, 100)
+	c3 := m.MoveCost(Shuffle, 1000, 200)
+	if math.Abs(c2-2*c1) > 1e-9 || math.Abs(c3-2*c1) > 1e-9 {
+		t.Errorf("C = B·λ must be linear: %v %v %v", c1, c2, c3)
+	}
+}
+
+func TestMaxComposition(t *testing.T) {
+	m := model(4)
+	r, n, w, b := m.Components(Shuffle, 4000, 10)
+	want := math.Max(math.Max(r, n), math.Max(w, b))
+	if got := m.MoveCost(Shuffle, 4000, 10); math.Abs(got-want) > 1e-9 {
+		t.Errorf("max composition: %v vs %v", got, want)
+	}
+}
+
+func TestShuffleScalesDownWithNodes(t *testing.T) {
+	// Same data, more nodes → each node handles less → cheaper shuffle.
+	c4 := model(4).MoveCost(Shuffle, 1e6, 50)
+	c16 := model(16).MoveCost(Shuffle, 1e6, 50)
+	if c16 >= c4 {
+		t.Errorf("shuffle should scale: N=4 %v, N=16 %v", c4, c16)
+	}
+	if math.Abs(c4/c16-4) > 0.01 {
+		t.Errorf("shuffle should scale linearly with N: ratio %v", c4/c16)
+	}
+}
+
+func TestBroadcastDoesNotScaleWithNodes(t *testing.T) {
+	// Broadcast target writes the full table on every node regardless of N.
+	c4 := model(4).MoveCost(Broadcast, 1e6, 50)
+	c16 := model(16).MoveCost(Broadcast, 1e6, 50)
+	if math.Abs(c4-c16)/c4 > 0.25 {
+		t.Errorf("broadcast cost should be ≈constant in N: %v vs %v", c4, c16)
+	}
+}
+
+func TestBroadcastVsShuffleCrossover(t *testing.T) {
+	// For the same relation, broadcast ≈ N× more expensive than shuffle on
+	// the write side; it only wins when the alternative moves much more
+	// data. Here: equal data → shuffle must be cheaper.
+	m := model(8)
+	if m.MoveCost(Broadcast, 1e6, 50) <= m.MoveCost(Shuffle, 1e6, 50) {
+		t.Error("broadcasting the same volume must cost more than shuffling it")
+	}
+	// Broadcasting a tiny table beats shuffling a huge one (the paper's
+	// Q20 broadcast-part-vs-shuffle-lineitem decision).
+	if m.MoveCost(Broadcast, 1000, 50) >= m.MoveCost(Shuffle, 1e7, 50) {
+		t.Error("broadcasting a small table must beat shuffling a huge one")
+	}
+}
+
+func TestTrimHasNoNetworkCost(t *testing.T) {
+	m := model(8)
+	_, n, _, _ := m.Components(Trim, 1e6, 50)
+	if n != 0 {
+		t.Errorf("trim is node-local: network = %v", n)
+	}
+	if m.MoveCost(Trim, 1e6, 50) <= 0 {
+		t.Error("trim still costs reader/writer work")
+	}
+}
+
+func TestPartitionMoveTargetBottleneck(t *testing.T) {
+	// The single receiving node processes the full stream: cost must not
+	// fall as N grows (target dominates).
+	c4 := model(4).MoveCost(PartitionMove, 1e6, 50)
+	c64 := model(64).MoveCost(PartitionMove, 1e6, 50)
+	if c64 < c4*0.99 {
+		t.Errorf("partition move is target-bound: %v vs %v", c4, c64)
+	}
+}
+
+func TestZeroAndDegenerate(t *testing.T) {
+	m := model(8)
+	if m.MoveCost(Shuffle, 0, 100) != 0 || m.MoveCost(Shuffle, 100, 0) != 0 {
+		t.Error("zero bytes → zero cost")
+	}
+	m0 := NewModel(0, DefaultLambda())
+	if c := m0.MoveCost(Shuffle, 100, 10); c <= 0 || math.IsInf(c, 0) || math.IsNaN(c) {
+		t.Errorf("degenerate topology must stay finite: %v", c)
+	}
+}
+
+func TestCostNonNegativeProperty(t *testing.T) {
+	m := model(8)
+	f := func(rows uint16, width uint8, kind uint8) bool {
+		k := MoveKind(kind % 7)
+		c := m.MoveCost(k, float64(rows), float64(width))
+		return c >= 0 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotoneInRows(t *testing.T) {
+	m := model(8)
+	for k := MoveKind(0); k <= RemoteCopySingle; k++ {
+		prev := -1.0
+		for rows := 1000.0; rows <= 64000; rows *= 2 {
+			c := m.MoveCost(k, rows, 20)
+			if c < prev {
+				t.Errorf("%s cost not monotone in rows", k)
+			}
+			prev = c
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"time"
+
+	"pdwqo/internal/catalog"
+	"pdwqo/internal/cost"
+	"pdwqo/internal/storage"
+	"pdwqo/internal/types"
+)
+
+// Calibrate performs the paper's §3.3.3 "cost calibration" against this
+// simulator: each DMS component (reader, hashing reader, network, writer,
+// SQL bulk copy) is exercised in isolation over synthetic rows and its
+// cost-per-byte constant λ is measured. The returned Lambda plugs into
+// cost.NewModel so modeled costs are in (approximate) nanoseconds of
+// simulator time.
+//
+// rows controls the calibration volume; a few hundred thousand rows give
+// stable constants.
+func Calibrate(rows int) cost.Lambda {
+	if rows < 1000 {
+		rows = 1000
+	}
+	data := make([]types.Row, rows)
+	for i := range data {
+		data[i] = types.Row{
+			types.NewInt(int64(i)),
+			types.NewFloat(float64(i) * 1.5),
+			types.NewString("calibration-payload-row"),
+		}
+	}
+	bytes := float64(0)
+	for _, r := range data {
+		bytes += float64(r.Width())
+	}
+
+	l := cost.Lambda{}
+	l.ReaderDirect = perByte(bytes, func() {
+		// Reading tuples out of the local instance and packing them into
+		// transfer buffers: a row copy.
+		buf := make([]types.Row, 0, len(data))
+		for _, r := range data {
+			buf = append(buf, r.Clone())
+		}
+		_ = buf
+	})
+	l.ReaderHash = perByte(bytes, func() {
+		// Same read, plus hashing each tuple for routing.
+		buf := make([]types.Row, 0, len(data))
+		sink := uint64(0)
+		for _, r := range data {
+			sink += types.Hash(r[0]) % 8
+			buf = append(buf, r.Clone())
+		}
+		_ = buf
+		_ = sink
+	})
+	l.Network = perByte(bytes, func() {
+		// Buffered hand-off between goroutines, the simulator's wire.
+		ch := make(chan types.Row, 1024)
+		done := make(chan struct{})
+		go func() {
+			n := 0
+			for range ch {
+				n++
+			}
+			close(done)
+		}()
+		for _, r := range data {
+			ch <- r
+		}
+		close(ch)
+		<-done
+	})
+	l.Writer = perByte(bytes, func() {
+		// Unpacking buffers and preparing insertion batches.
+		out := make([]types.Row, len(data))
+		for i, r := range data {
+			nr := make(types.Row, len(r))
+			copy(nr, r)
+			out[i] = nr
+		}
+		_ = out
+	})
+	l.BulkCopy = perByte(bytes, func() {
+		db := storage.NewDB()
+		_ = db.Create("t", []catalog.Column{
+			{Name: "a", Type: types.KindInt},
+			{Name: "b", Type: types.KindFloat},
+			{Name: "c", Type: types.KindString},
+		})
+		_ = db.BulkInsert("t", data)
+	})
+	return l
+}
+
+// perByte times f and returns nanoseconds per byte, taking the best of
+// three runs to shed scheduling noise.
+func perByte(bytes float64, f func()) float64 {
+	best := time.Duration(1 << 62)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / bytes
+}

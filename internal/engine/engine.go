@@ -1,0 +1,426 @@
+// Package engine simulates the PDW appliance (paper §2.1–§2.4): a control
+// node plus N compute nodes, each owning a node-local database instance and
+// a DMS endpoint. DSQL plans execute exactly as described in the paper —
+// steps run serially; each step ships a SQL *string* to the participating
+// nodes, whose local engines parse and execute it themselves; DMS
+// operations route the resulting rows into temp tables; the final step
+// streams rows back to the client through the control node.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/catalog"
+	"pdwqo/internal/core"
+	"pdwqo/internal/cost"
+	"pdwqo/internal/dsql"
+	"pdwqo/internal/exec"
+	"pdwqo/internal/normalize"
+	"pdwqo/internal/sqlparser"
+	"pdwqo/internal/storage"
+	"pdwqo/internal/types"
+)
+
+// Node is one appliance node: the control node or a compute node.
+type Node struct {
+	ID        int
+	IsControl bool
+	DB        *storage.DB
+}
+
+// StepMetric records one executed step for calibration and experiments.
+type StepMetric struct {
+	Move      cost.MoveKind
+	IsMove    bool
+	Rows      int64
+	Bytes     int64
+	HashedRow int64 // rows that went through hash routing
+	// MaxNodeBytes is the largest per-destination-node byte share: under
+	// the uniformity assumption it is ≈ Bytes/N for shuffles; skewed keys
+	// push it toward Bytes (E13).
+	MaxNodeBytes int64
+	Duration     time.Duration
+}
+
+// Metrics accumulates execution measurements.
+type Metrics struct {
+	mu    sync.Mutex
+	Steps []StepMetric
+}
+
+func (m *Metrics) add(s StepMetric) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Steps = append(m.Steps, s)
+}
+
+// TotalBytesMoved sums DMS bytes across steps.
+func (m *Metrics) TotalBytesMoved() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, s := range m.Steps {
+		if s.IsMove {
+			n += s.Bytes
+		}
+	}
+	return n
+}
+
+// Appliance is the simulated PDW box.
+type Appliance struct {
+	Shell   *catalog.Shell
+	Control *Node
+	Compute []*Node
+	Metrics Metrics
+}
+
+// New builds an appliance for the shell's topology with empty storage.
+func New(shell *catalog.Shell) *Appliance {
+	a := &Appliance{
+		Shell:   shell,
+		Control: &Node{ID: -1, IsControl: true, DB: storage.NewDB()},
+	}
+	for i := 0; i < shell.Topology.ComputeNodes; i++ {
+		a.Compute = append(a.Compute, &Node{ID: i, DB: storage.NewDB()})
+	}
+	return a
+}
+
+// LoadTable places a table's rows per its declared distribution:
+// replicated tables land on every compute node, hash tables are routed by
+// the distribution column.
+func (a *Appliance) LoadTable(name string, rows []types.Row) error {
+	tbl := a.Shell.Table(name)
+	if tbl == nil {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	for _, n := range a.Compute {
+		if err := n.DB.Create(tbl.Name, tbl.Columns); err != nil {
+			return err
+		}
+	}
+	if tbl.Dist.Kind == catalog.DistReplicated {
+		for _, n := range a.Compute {
+			if err := n.DB.BulkInsert(tbl.Name, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ci := tbl.ColumnIndex(tbl.Dist.Column)
+	buckets := make([][]types.Row, len(a.Compute))
+	for _, r := range rows {
+		n := int(types.Hash(r[ci]) % uint64(len(a.Compute)))
+		buckets[n] = append(buckets[n], r)
+	}
+	for i, n := range a.Compute {
+		if err := n.DB.BulkInsert(tbl.Name, buckets[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is the client-visible query result.
+type Result struct {
+	Cols []algebra.ColumnMeta
+	Rows []types.Row
+}
+
+// Execute runs a DSQL plan serially, step by step (paper §2.4: "query
+// plans are executed serially, one step at a time", each step parallel
+// across nodes).
+func (a *Appliance) Execute(p *dsql.Plan) (*Result, error) {
+	// Session catalog: shell tables plus temp tables registered as steps
+	// create them.
+	session := catalog.NewShell(a.Shell.Topology.ComputeNodes)
+	for _, t := range a.Shell.Tables() {
+		if err := session.AddTable(t); err != nil {
+			return nil, err
+		}
+	}
+	var tempNames []string
+	defer func() {
+		for _, name := range tempNames {
+			a.Control.DB.Drop(name)
+			for _, n := range a.Compute {
+				n.DB.Drop(name)
+			}
+		}
+	}()
+
+	for _, step := range p.Steps {
+		start := time.Now()
+		tree, err := a.compile(step.SQL, session)
+		if err != nil {
+			return nil, fmt.Errorf("engine: step %d: %w", step.ID, err)
+		}
+		switch step.Kind {
+		case dsql.StepMove:
+			if err := a.executeMove(step, tree, session, &tempNames, start); err != nil {
+				return nil, fmt.Errorf("engine: step %d: %w", step.ID, err)
+			}
+		case dsql.StepReturn:
+			rel, err := a.executeReturn(step, tree, p, start)
+			if err != nil {
+				return nil, fmt.Errorf("engine: step %d: %w", step.ID, err)
+			}
+			return rel, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: plan has no return step")
+}
+
+// compile parses, binds and normalizes a DSQL step's SQL text — the role
+// of each node's local SQL instance compilation.
+func (a *Appliance) compile(sql string, session *catalog.Shell) (*algebra.Tree, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	b := algebra.NewBinder(session)
+	tree, err := b.Bind(sel)
+	if err != nil {
+		return nil, err
+	}
+	return normalize.New(b).Normalize(tree)
+}
+
+// sourceNodes picks the nodes that run a step's SQL.
+func (a *Appliance) sourceNodes(step dsql.Step) []*Node {
+	switch {
+	case step.Kind == dsql.StepMove && step.MoveKind == cost.ControlNodeMove:
+		return []*Node{a.Control}
+	case step.Kind == dsql.StepMove &&
+		(step.MoveKind == cost.ReplicatedBroadcast || step.MoveKind == cost.RemoteCopySingle):
+		// A replicated (or single-compute-node) source is read once.
+		if step.Where == core.DistSingle {
+			return []*Node{a.Control}
+		}
+		return []*Node{a.Compute[0]}
+	case step.Where == core.DistSingle:
+		return []*Node{a.Control}
+	case step.Where == core.DistReplicated && step.Kind == dsql.StepReturn:
+		return []*Node{a.Compute[0]}
+	case step.Where == core.DistReplicated && step.Kind == dsql.StepMove && step.MoveKind != cost.Trim:
+		return []*Node{a.Compute[0]}
+	default:
+		return a.Compute
+	}
+}
+
+// runOnNodes executes the compiled tree on each node in parallel.
+func (a *Appliance) runOnNodes(tree *algebra.Tree, nodes []*Node) ([]*exec.Relation, error) {
+	rels := make([]*exec.Relation, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			src := func(name string) ([]types.Row, []string, error) {
+				t := n.DB.Table(name)
+				if t == nil {
+					return nil, nil, fmt.Errorf("node %d: no table %q", n.ID, name)
+				}
+				names := make([]string, len(t.Cols))
+				for j, c := range t.Cols {
+					names[j] = c.Name
+				}
+				return t.Rows, names, nil
+			}
+			rels[i], errs[i] = exec.Run(tree, src)
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rels, nil
+}
+
+// executeMove runs the step SQL on the source nodes and routes rows per
+// the DMS operation into the destination temp table.
+func (a *Appliance) executeMove(step dsql.Step, tree *algebra.Tree, session *catalog.Shell, tempNames *[]string, start time.Time) error {
+	sources := a.sourceNodes(step)
+	rels, err := a.runOnNodes(tree, sources)
+	if err != nil {
+		return err
+	}
+	// Destination setup.
+	destNodes, destDist := a.destFor(step)
+	for _, n := range destNodes {
+		if err := n.DB.Create(step.Dest, step.DestCols); err != nil {
+			return err
+		}
+	}
+	*tempNames = append(*tempNames, step.Dest)
+	if err := session.AddTable(&catalog.Table{
+		Name:    step.Dest,
+		Columns: step.DestCols,
+		Dist:    destDist,
+	}); err != nil {
+		return err
+	}
+
+	hashPos := -1
+	if step.HashCol != "" {
+		for i, c := range step.DestCols {
+			if c.Name == step.HashCol {
+				hashPos = i
+			}
+		}
+		if hashPos < 0 {
+			return fmt.Errorf("hash column %q missing from destination", step.HashCol)
+		}
+	}
+
+	var rows, hashed, bytes, maxNode int64
+	route := func(dest *Node, rs []types.Row) error {
+		var b int64
+		for _, r := range rs {
+			b += int64(r.Width())
+		}
+		bytes += b
+		if b > maxNode {
+			maxNode = b
+		}
+		rows += int64(len(rs))
+		return dest.DB.BulkInsert(step.Dest, rs)
+	}
+
+	switch step.MoveKind {
+	case cost.Shuffle:
+		buckets := make([][]types.Row, len(a.Compute))
+		for si, rel := range rels {
+			_ = si
+			for _, r := range rel.Rows {
+				hashed++
+				n := 0
+				if !r[hashPos].IsNull() {
+					n = int(types.Hash(r[hashPos]) % uint64(len(a.Compute)))
+				}
+				buckets[n] = append(buckets[n], r)
+			}
+		}
+		for i, n := range a.Compute {
+			if err := route(n, buckets[i]); err != nil {
+				return err
+			}
+		}
+
+	case cost.Trim:
+		// Node-local: each node keeps only rows it is responsible for.
+		if len(sources) != len(a.Compute) {
+			return fmt.Errorf("trim requires all compute nodes as sources")
+		}
+		for si, rel := range rels {
+			var keep []types.Row
+			for _, r := range rel.Rows {
+				hashed++
+				n := 0
+				if !r[hashPos].IsNull() {
+					n = int(types.Hash(r[hashPos]) % uint64(len(a.Compute)))
+				}
+				if n == si {
+					keep = append(keep, r)
+				}
+			}
+			if err := route(a.Compute[si], keep); err != nil {
+				return err
+			}
+		}
+
+	case cost.Broadcast, cost.ControlNodeMove, cost.ReplicatedBroadcast:
+		var all []types.Row
+		for _, rel := range rels {
+			all = append(all, rel.Rows...)
+		}
+		for _, n := range a.Compute {
+			if err := route(n, all); err != nil {
+				return err
+			}
+		}
+
+	case cost.PartitionMove, cost.RemoteCopySingle:
+		var all []types.Row
+		for _, rel := range rels {
+			all = append(all, rel.Rows...)
+		}
+		if err := route(a.Control, all); err != nil {
+			return err
+		}
+
+	default:
+		return fmt.Errorf("unsupported move kind %v", step.MoveKind)
+	}
+
+	a.Metrics.add(StepMetric{
+		Move: step.MoveKind, IsMove: true,
+		Rows: rows, Bytes: bytes, HashedRow: hashed,
+		MaxNodeBytes: maxNode,
+		Duration:     time.Since(start),
+	})
+	return nil
+}
+
+// destFor returns the nodes receiving a move's rows and the temp table's
+// catalog placement.
+func (a *Appliance) destFor(step dsql.Step) ([]*Node, catalog.Distribution) {
+	switch step.MoveKind {
+	case cost.Shuffle, cost.Trim:
+		return a.Compute, catalog.Distribution{Kind: catalog.DistHash, Column: step.HashCol}
+	case cost.Broadcast, cost.ControlNodeMove, cost.ReplicatedBroadcast:
+		return a.Compute, catalog.Distribution{Kind: catalog.DistReplicated}
+	default: // PartitionMove, RemoteCopySingle
+		return append([]*Node{}, a.Control), catalog.Distribution{Kind: catalog.DistReplicated}
+	}
+}
+
+// executeReturn runs the final SQL and assembles the client result,
+// merging per the plan's order spec and applying TOP.
+func (a *Appliance) executeReturn(step dsql.Step, tree *algebra.Tree, p *dsql.Plan, start time.Time) (*Result, error) {
+	sources := a.sourceNodes(step)
+	rels, err := a.runOnNodes(tree, sources)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Cols: p.OutCols}
+	var bytes int64
+	for _, rel := range rels {
+		for _, r := range rel.Rows {
+			bytes += int64(r.Width())
+		}
+		out.Rows = append(out.Rows, rel.Rows...)
+	}
+	if len(p.OrderBy) > 0 {
+		keys := p.OrderBy
+		sort.SliceStable(out.Rows, func(i, j int) bool {
+			for _, k := range keys {
+				c := types.Compare(out.Rows[i][k.Pos], out.Rows[j][k.Pos])
+				if k.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if p.Top > 0 && int64(len(out.Rows)) > p.Top {
+		out.Rows = out.Rows[:p.Top]
+	}
+	a.Metrics.add(StepMetric{
+		Rows: int64(len(out.Rows)), Bytes: bytes,
+		Duration: time.Since(start),
+	})
+	return out, nil
+}

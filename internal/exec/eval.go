@@ -1,0 +1,261 @@
+// Package exec implements the node-local query executor: the role each
+// compute node's SQL Server instance plays when handed a DSQL step's SQL
+// text. It evaluates bound logical trees (Get/Select/Project/Join/GroupBy/
+// Sort/Values) over in-memory rows with SQL three-valued semantics, and
+// doubles as the single-node reference executor used to validate
+// distributed results.
+package exec
+
+import (
+	"fmt"
+
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/normalize"
+	"pdwqo/internal/sqlparser"
+	"pdwqo/internal/types"
+)
+
+// Env resolves column IDs to positions in the current row.
+type Env struct {
+	Idx map[algebra.ColumnID]int
+	Row types.Row
+}
+
+// NewEnv builds an environment over a schema.
+func NewEnv(cols []algebra.ColumnMeta) *Env {
+	idx := make(map[algebra.ColumnID]int, len(cols))
+	for i, c := range cols {
+		idx[c.ID] = i
+	}
+	return &Env{Idx: idx}
+}
+
+// Eval evaluates a bound scalar over the environment's current row.
+func Eval(e algebra.Scalar, env *Env) (types.Value, error) {
+	switch x := e.(type) {
+	case *algebra.ColRef:
+		i, ok := env.Idx[x.ID]
+		if !ok {
+			return types.Null, fmt.Errorf("exec: column c%d not in row", x.ID)
+		}
+		return env.Row[i], nil
+
+	case *algebra.Const:
+		return x.Val, nil
+
+	case *algebra.Binary:
+		return evalBinary(x, env)
+
+	case *algebra.Not:
+		v, err := Eval(x.E, env)
+		if err != nil || v.IsNull() {
+			return types.Null, err
+		}
+		return types.NewBool(!v.Bool()), nil
+
+	case *algebra.Neg:
+		v, err := Eval(x.E, env)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Neg(v)
+
+	case *algebra.IsNull:
+		v, err := Eval(x.E, env)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewBool(v.IsNull() != x.Negated), nil
+
+	case *algebra.Like:
+		v, err := Eval(x.E, env)
+		if err != nil || v.IsNull() {
+			return types.Null, err
+		}
+		m := normalize.MatchLike(v.Str(), x.Pattern)
+		return types.NewBool(m != x.Negated), nil
+
+	case *algebra.InList:
+		v, err := Eval(x.E, env)
+		if err != nil {
+			return types.Null, err
+		}
+		if v.IsNull() {
+			return types.Null, nil
+		}
+		sawNull := false
+		for _, el := range x.List {
+			ev, err := Eval(el, env)
+			if err != nil {
+				return types.Null, err
+			}
+			if ev.IsNull() {
+				sawNull = true
+				continue
+			}
+			if types.Comparable(v.Kind(), ev.Kind()) && types.Compare(v, ev) == 0 {
+				return types.NewBool(!x.Negated), nil
+			}
+		}
+		if sawNull {
+			return types.Null, nil
+		}
+		return types.NewBool(x.Negated), nil
+
+	case *algebra.Func:
+		args := make([]types.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := Eval(a, env)
+			if err != nil {
+				return types.Null, err
+			}
+			args[i] = v
+		}
+		return algebra.EvalConstFunc(x.Name, args)
+
+	case *algebra.Case:
+		for _, w := range x.Whens {
+			c, err := Eval(w.Cond, env)
+			if err != nil {
+				return types.Null, err
+			}
+			if !c.IsNull() && c.Bool() {
+				return Eval(w.Then, env)
+			}
+		}
+		if x.Else != nil {
+			return Eval(x.Else, env)
+		}
+		return types.Null, nil
+
+	case *algebra.Cast:
+		v, err := Eval(x.E, env)
+		if err != nil {
+			return types.Null, err
+		}
+		return CastValue(v, x.To)
+
+	default:
+		return types.Null, fmt.Errorf("exec: cannot evaluate %T", e)
+	}
+}
+
+func evalBinary(x *algebra.Binary, env *Env) (types.Value, error) {
+	// AND/OR need three-valued short-circuit handling.
+	switch x.Op {
+	case sqlparser.OpAnd:
+		l, err := Eval(x.L, env)
+		if err != nil {
+			return types.Null, err
+		}
+		if !l.IsNull() && !l.Bool() {
+			return types.NewBool(false), nil
+		}
+		r, err := Eval(x.R, env)
+		if err != nil {
+			return types.Null, err
+		}
+		if !r.IsNull() && !r.Bool() {
+			return types.NewBool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return types.Null, nil
+		}
+		return types.NewBool(true), nil
+	case sqlparser.OpOr:
+		l, err := Eval(x.L, env)
+		if err != nil {
+			return types.Null, err
+		}
+		if !l.IsNull() && l.Bool() {
+			return types.NewBool(true), nil
+		}
+		r, err := Eval(x.R, env)
+		if err != nil {
+			return types.Null, err
+		}
+		if !r.IsNull() && r.Bool() {
+			return types.NewBool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return types.Null, nil
+		}
+		return types.NewBool(false), nil
+	}
+
+	l, err := Eval(x.L, env)
+	if err != nil {
+		return types.Null, err
+	}
+	r, err := Eval(x.R, env)
+	if err != nil {
+		return types.Null, err
+	}
+	if x.Op.IsComparison() {
+		if l.IsNull() || r.IsNull() {
+			return types.Null, nil
+		}
+		if !types.Comparable(l.Kind(), r.Kind()) {
+			return types.Null, fmt.Errorf("exec: comparing %s with %s", l.Kind(), r.Kind())
+		}
+		c := types.Compare(l, r)
+		var out bool
+		switch x.Op {
+		case sqlparser.OpEq:
+			out = c == 0
+		case sqlparser.OpNe:
+			out = c != 0
+		case sqlparser.OpLt:
+			out = c < 0
+		case sqlparser.OpLe:
+			out = c <= 0
+		case sqlparser.OpGt:
+			out = c > 0
+		case sqlparser.OpGe:
+			out = c >= 0
+		}
+		return types.NewBool(out), nil
+	}
+	switch x.Op {
+	case sqlparser.OpAdd:
+		return types.Add(l, r)
+	case sqlparser.OpSub:
+		return types.Sub(l, r)
+	case sqlparser.OpMul:
+		return types.Mul(l, r)
+	case sqlparser.OpDiv:
+		return types.Div(l, r)
+	}
+	return types.Null, fmt.Errorf("exec: unknown operator %s", x.Op)
+}
+
+// CastValue converts a runtime value to the target kind.
+func CastValue(v types.Value, to types.Kind) (types.Value, error) {
+	if v.IsNull() || v.Kind() == to {
+		return v, nil
+	}
+	switch to {
+	case types.KindFloat:
+		if v.Kind().Numeric() {
+			return types.NewFloat(v.Float()), nil
+		}
+	case types.KindInt:
+		if v.Kind() == types.KindFloat {
+			return types.NewInt(int64(v.Float())), nil
+		}
+	case types.KindDate:
+		if v.Kind() == types.KindString {
+			return types.ParseDate(v.Str())
+		}
+	case types.KindString:
+		return types.NewString(v.String()), nil
+	case types.KindBool:
+		if v.Kind() == types.KindInt {
+			return types.NewBool(v.Int() != 0), nil
+		}
+	}
+	return types.Null, fmt.Errorf("exec: cannot cast %s to %s", v.Kind(), to)
+}
+
+// Truthy applies SQL predicate semantics: NULL counts as false.
+func Truthy(v types.Value) bool { return !v.IsNull() && v.Bool() }

@@ -1,0 +1,593 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/types"
+)
+
+// TableSource resolves a base-table scan: given the table name, it returns
+// the locally stored rows in the table's full column order.
+type TableSource func(name string) ([]types.Row, [](string), error)
+
+// Relation is a materialized intermediate result.
+type Relation struct {
+	Cols []algebra.ColumnMeta
+	Rows []types.Row
+}
+
+// Run executes a bound logical tree against the source. The tree must be
+// subquery-free (normalized).
+func Run(t *algebra.Tree, src TableSource) (*Relation, error) {
+	switch op := t.Op.(type) {
+	case *algebra.Get:
+		return runGet(op, src)
+	case *algebra.Values:
+		rel := &Relation{Cols: op.Cols}
+		for _, r := range op.Rows {
+			rel.Rows = append(rel.Rows, types.Row(r))
+		}
+		return rel, nil
+	case *algebra.Select:
+		in, err := Run(t.Children[0], src)
+		if err != nil {
+			return nil, err
+		}
+		return runFilter(op, in)
+	case *algebra.Project:
+		in, err := Run(t.Children[0], src)
+		if err != nil {
+			return nil, err
+		}
+		return runProject(op, in, t.OutputCols())
+	case *algebra.Join:
+		l, err := Run(t.Children[0], src)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Run(t.Children[1], src)
+		if err != nil {
+			return nil, err
+		}
+		return runJoin(op, l, r)
+	case *algebra.GroupBy:
+		in, err := Run(t.Children[0], src)
+		if err != nil {
+			return nil, err
+		}
+		return runGroupBy(op, in, t.OutputCols())
+	case *algebra.Sort:
+		in, err := Run(t.Children[0], src)
+		if err != nil {
+			return nil, err
+		}
+		return runSort(op, in)
+	case *algebra.UnionAll:
+		l, err := Run(t.Children[0], src)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Run(t.Children[1], src)
+		if err != nil {
+			return nil, err
+		}
+		return &Relation{Cols: l.Cols, Rows: append(append([]types.Row{}, l.Rows...), r.Rows...)}, nil
+	default:
+		return nil, fmt.Errorf("exec: cannot execute %T", t.Op)
+	}
+}
+
+func runGet(op *algebra.Get, src TableSource) (*Relation, error) {
+	rows, names, err := src(op.Table.Name)
+	if err != nil {
+		return nil, err
+	}
+	// Map the (possibly pruned) Get columns onto stored positions.
+	pos := make([]int, len(op.Cols))
+	for i, c := range op.Cols {
+		pos[i] = -1
+		for j, n := range names {
+			if equalFold(n, c.Name) {
+				pos[i] = j
+				break
+			}
+		}
+		if pos[i] < 0 {
+			return nil, fmt.Errorf("exec: column %q missing from stored %q", c.Name, op.Table.Name)
+		}
+	}
+	out := &Relation{Cols: op.Cols, Rows: make([]types.Row, len(rows))}
+	for ri, r := range rows {
+		nr := make(types.Row, len(pos))
+		for i, p := range pos {
+			nr[i] = r[p]
+		}
+		out.Rows[ri] = nr
+	}
+	return out, nil
+}
+
+func runFilter(op *algebra.Select, in *Relation) (*Relation, error) {
+	env := NewEnv(in.Cols)
+	out := &Relation{Cols: in.Cols}
+	for _, r := range in.Rows {
+		env.Row = r
+		v, err := Eval(op.Filter, env)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(v) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
+}
+
+func runProject(op *algebra.Project, in *Relation, outCols []algebra.ColumnMeta) (*Relation, error) {
+	env := NewEnv(in.Cols)
+	out := &Relation{Cols: outCols, Rows: make([]types.Row, len(in.Rows))}
+	for ri, r := range in.Rows {
+		env.Row = r
+		nr := make(types.Row, len(op.Defs))
+		for i, d := range op.Defs {
+			v, err := Eval(d.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			nr[i] = v
+		}
+		out.Rows[ri] = nr
+	}
+	return out, nil
+}
+
+// splitJoinCond separates equi-join column pairs from residual conjuncts.
+func splitJoinCond(on algebra.Scalar, l, r *Relation) (lKeys, rKeys []int, residual []algebra.Scalar) {
+	lIdx := map[algebra.ColumnID]int{}
+	for i, c := range l.Cols {
+		lIdx[c.ID] = i
+	}
+	rIdx := map[algebra.ColumnID]int{}
+	for i, c := range r.Cols {
+		rIdx[c.ID] = i
+	}
+	for _, conj := range algebra.Conjuncts(on) {
+		if a, b, ok := algebra.EquiJoinSides(conj); ok {
+			if li, lok := lIdx[a]; lok {
+				if ri, rok := rIdx[b]; rok {
+					lKeys = append(lKeys, li)
+					rKeys = append(rKeys, ri)
+					continue
+				}
+			}
+			if li, lok := lIdx[b]; lok {
+				if ri, rok := rIdx[a]; rok {
+					lKeys = append(lKeys, li)
+					rKeys = append(rKeys, ri)
+					continue
+				}
+			}
+		}
+		residual = append(residual, conj)
+	}
+	return lKeys, rKeys, residual
+}
+
+func runJoin(op *algebra.Join, l, r *Relation) (*Relation, error) {
+	outCols := joinOutCols(op, l, r)
+	lKeys, rKeys, residual := splitJoinCond(op.On, l, r)
+	res := algebra.AndAll(residual)
+	if len(lKeys) > 0 {
+		return hashJoin(op, l, r, lKeys, rKeys, res, outCols)
+	}
+	return loopJoin(op, l, r, op.On, outCols)
+}
+
+func joinOutCols(op *algebra.Join, l, r *Relation) []algebra.ColumnMeta {
+	switch op.Kind {
+	case algebra.JoinSemi, algebra.JoinAnti:
+		return l.Cols
+	default:
+		out := make([]algebra.ColumnMeta, 0, len(l.Cols)+len(r.Cols))
+		out = append(out, l.Cols...)
+		out = append(out, r.Cols...)
+		return out
+	}
+}
+
+// keyOf extracts join key values; ok is false when any key is NULL (SQL
+// equality never matches NULLs).
+func keyOf(row types.Row, idx []int) (uint64, bool) {
+	vals := make([]types.Value, len(idx))
+	for i, p := range idx {
+		if row[p].IsNull() {
+			return 0, false
+		}
+		vals[i] = row[p]
+	}
+	return types.HashRowKey(vals), true
+}
+
+func keysEqual(a types.Row, ai []int, b types.Row, bi []int) bool {
+	for i := range ai {
+		av, bv := a[ai[i]], b[bi[i]]
+		if av.IsNull() || bv.IsNull() {
+			return false
+		}
+		if !types.Comparable(av.Kind(), bv.Kind()) || types.Compare(av, bv) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func hashJoin(op *algebra.Join, l, r *Relation, lKeys, rKeys []int, residual algebra.Scalar, outCols []algebra.ColumnMeta) (*Relation, error) {
+	build := map[uint64][]int{}
+	for ri, row := range r.Rows {
+		if k, ok := keyOf(row, rKeys); ok {
+			build[k] = append(build[k], ri)
+		}
+	}
+	out := &Relation{Cols: outCols}
+	// Residual predicates see the concatenated (left, right) row even when
+	// the join's output is left-only (semi/anti).
+	pairCols := make([]algebra.ColumnMeta, 0, len(l.Cols)+len(r.Cols))
+	pairCols = append(pairCols, l.Cols...)
+	pairCols = append(pairCols, r.Cols...)
+	env := NewEnv(pairCols)
+	rightMatched := make([]bool, len(r.Rows))
+	nullRight := make(types.Row, len(r.Cols))
+	for i := range nullRight {
+		nullRight[i] = types.Null
+	}
+
+	for _, lrow := range l.Rows {
+		matched := false
+		if k, ok := keyOf(lrow, lKeys); ok {
+			for _, ri := range build[k] {
+				rrow := r.Rows[ri]
+				if !keysEqual(lrow, lKeys, rrow, rKeys) {
+					continue
+				}
+				combined := append(append(types.Row{}, lrow...), rrow...)
+				if residual != nil {
+					env.Row = combined
+					v, err := Eval(residual, env)
+					if err != nil {
+						return nil, err
+					}
+					if !Truthy(v) {
+						continue
+					}
+				}
+				matched = true
+				rightMatched[ri] = true
+				switch op.Kind {
+				case algebra.JoinSemi, algebra.JoinAnti:
+					// membership only
+				default:
+					out.Rows = append(out.Rows, combined)
+				}
+				if op.Kind == algebra.JoinSemi {
+					break
+				}
+			}
+		}
+		switch op.Kind {
+		case algebra.JoinSemi:
+			if matched {
+				out.Rows = append(out.Rows, lrow)
+			}
+		case algebra.JoinAnti:
+			if !matched {
+				out.Rows = append(out.Rows, lrow)
+			}
+		case algebra.JoinLeftOuter, algebra.JoinFullOuter:
+			if !matched {
+				out.Rows = append(out.Rows, append(append(types.Row{}, lrow...), nullRight...))
+			}
+		}
+	}
+	if op.Kind == algebra.JoinFullOuter {
+		nullLeft := make(types.Row, len(l.Cols))
+		for i := range nullLeft {
+			nullLeft[i] = types.Null
+		}
+		for ri, m := range rightMatched {
+			if !m {
+				out.Rows = append(out.Rows, append(append(types.Row{}, nullLeft...), r.Rows[ri]...))
+			}
+		}
+	}
+	return out, nil
+}
+
+func loopJoin(op *algebra.Join, l, r *Relation, on algebra.Scalar, outCols []algebra.ColumnMeta) (*Relation, error) {
+	out := &Relation{Cols: outCols}
+	pairCols := make([]algebra.ColumnMeta, 0, len(l.Cols)+len(r.Cols))
+	pairCols = append(pairCols, l.Cols...)
+	pairCols = append(pairCols, r.Cols...)
+	env := NewEnv(pairCols)
+	rightMatched := make([]bool, len(r.Rows))
+	nullRight := make(types.Row, len(r.Cols))
+	for i := range nullRight {
+		nullRight[i] = types.Null
+	}
+	for _, lrow := range l.Rows {
+		matched := false
+		for ri, rrow := range r.Rows {
+			combined := append(append(types.Row{}, lrow...), rrow...)
+			if on != nil {
+				env.Row = combined
+				v, err := Eval(on, env)
+				if err != nil {
+					return nil, err
+				}
+				if !Truthy(v) {
+					continue
+				}
+			}
+			matched = true
+			rightMatched[ri] = true
+			switch op.Kind {
+			case algebra.JoinSemi, algebra.JoinAnti:
+			default:
+				out.Rows = append(out.Rows, combined)
+			}
+			if op.Kind == algebra.JoinSemi {
+				break
+			}
+		}
+		switch op.Kind {
+		case algebra.JoinSemi:
+			if matched {
+				out.Rows = append(out.Rows, lrow)
+			}
+		case algebra.JoinAnti:
+			if !matched {
+				out.Rows = append(out.Rows, lrow)
+			}
+		case algebra.JoinLeftOuter, algebra.JoinFullOuter:
+			if !matched {
+				out.Rows = append(out.Rows, append(append(types.Row{}, lrow...), nullRight...))
+			}
+		}
+	}
+	if op.Kind == algebra.JoinFullOuter {
+		nullLeft := make(types.Row, len(l.Cols))
+		for i := range nullLeft {
+			nullLeft[i] = types.Null
+		}
+		for ri, m := range rightMatched {
+			if !m {
+				out.Rows = append(out.Rows, append(append(types.Row{}, nullLeft...), r.Rows[ri]...))
+			}
+		}
+	}
+	return out, nil
+}
+
+// aggState accumulates one aggregate within one group.
+type aggState struct {
+	def      algebra.AggDef
+	sum      types.Value
+	count    int64
+	min, max types.Value
+	distinct map[uint64]bool
+}
+
+func newAggState(def algebra.AggDef) *aggState {
+	s := &aggState{def: def, sum: types.Null, min: types.Null, max: types.Null}
+	if def.Distinct {
+		s.distinct = map[uint64]bool{}
+	}
+	return s
+}
+
+func (s *aggState) add(env *Env) error {
+	var v types.Value
+	if s.def.Arg == nil {
+		// COUNT(*): every row counts.
+		s.count++
+		return nil
+	}
+	v, err := Eval(s.def.Arg, env)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if s.distinct != nil {
+		h := types.Hash(v)
+		if s.distinct[h] {
+			return nil
+		}
+		s.distinct[h] = true
+	}
+	switch s.def.Func {
+	case algebra.AggCount:
+		s.count++
+	case algebra.AggSum:
+		if s.sum.IsNull() {
+			s.sum = v
+		} else {
+			sum, err := types.Add(s.sum, v)
+			if err != nil {
+				return err
+			}
+			s.sum = sum
+		}
+	case algebra.AggMin:
+		if s.min.IsNull() || types.Compare(v, s.min) < 0 {
+			s.min = v
+		}
+	case algebra.AggMax:
+		if s.max.IsNull() || types.Compare(v, s.max) > 0 {
+			s.max = v
+		}
+	}
+	return nil
+}
+
+func (s *aggState) result() types.Value {
+	switch s.def.Func {
+	case algebra.AggCount:
+		return types.NewInt(s.count)
+	case algebra.AggSum:
+		return s.sum
+	case algebra.AggMin:
+		return s.min
+	case algebra.AggMax:
+		return s.max
+	}
+	return types.Null
+}
+
+func runGroupBy(op *algebra.GroupBy, in *Relation, outCols []algebra.ColumnMeta) (*Relation, error) {
+	env := NewEnv(in.Cols)
+	keyPos := make([]int, len(op.Keys))
+	for i, k := range op.Keys {
+		keyPos[i] = -1
+		for j, c := range in.Cols {
+			if c.ID == k {
+				keyPos[i] = j
+			}
+		}
+		if keyPos[i] < 0 {
+			return nil, fmt.Errorf("exec: group key c%d missing", k)
+		}
+	}
+	type group struct {
+		keyVals types.Row
+		aggs    []*aggState
+	}
+	groups := map[uint64][]*group{}
+	var order []*group
+	for _, r := range in.Rows {
+		env.Row = r
+		keyVals := make(types.Row, len(keyPos))
+		for i, p := range keyPos {
+			keyVals[i] = r[p]
+		}
+		h := types.HashRowKey(keyVals)
+		var g *group
+		for _, cand := range groups[h] {
+			same := true
+			for i := range keyVals {
+				if !types.Equal(cand.keyVals[i], keyVals[i]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &group{keyVals: keyVals}
+			for _, a := range op.Aggs {
+				g.aggs = append(g.aggs, newAggState(a))
+			}
+			groups[h] = append(groups[h], g)
+			order = append(order, g)
+		}
+		for _, a := range g.aggs {
+			if err := a.add(env); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A scalar aggregate over empty input yields one all-default row.
+	if len(op.Keys) == 0 && len(order) == 0 {
+		g := &group{}
+		for _, a := range op.Aggs {
+			g.aggs = append(g.aggs, newAggState(a))
+		}
+		order = append(order, g)
+	}
+	out := &Relation{Cols: outCols}
+	for _, g := range order {
+		row := make(types.Row, 0, len(g.keyVals)+len(g.aggs))
+		row = append(row, g.keyVals...)
+		for _, a := range g.aggs {
+			row = append(row, a.result())
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func runSort(op *algebra.Sort, in *Relation) (*Relation, error) {
+	keyPos := make([]int, len(op.Keys))
+	for i, k := range op.Keys {
+		keyPos[i] = -1
+		for j, c := range in.Cols {
+			if c.ID == k.ID {
+				keyPos[i] = j
+			}
+		}
+		if keyPos[i] < 0 {
+			return nil, fmt.Errorf("exec: sort key c%d missing", k.ID)
+		}
+	}
+	rows := append([]types.Row{}, in.Rows...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		for ki, p := range keyPos {
+			c := types.Compare(rows[i][p], rows[j][p])
+			if op.Keys[ki].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	if op.Top > 0 && int64(len(rows)) > op.Top {
+		rows = rows[:op.Top]
+	}
+	return &Relation{Cols: in.Cols, Rows: rows}, nil
+}
+
+// SortRows orders rows by (position, desc) merge keys; shared with the
+// control node's final merge.
+func SortRows(rows []types.Row, keys []struct {
+	Pos  int
+	Desc bool
+}) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			c := types.Compare(rows[i][k.Pos], rows[j][k.Pos])
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

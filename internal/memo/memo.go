@@ -1,0 +1,274 @@
+// Package memo implements the Cascades-style search-space data structure
+// and the serial (single-node) optimizer that populates it — the role SQL
+// Server's optimizer plays against the shell database in the paper
+// (§2.5 component 2, Figure 3c "initial/final serial memo").
+//
+// A Memo holds Groups of equivalent expressions; each GroupExpr is an
+// operator payload whose children are groups rather than operators, so a
+// memo compactly encodes a very large number of operator trees. The PDW
+// optimizer (internal/core) consumes this structure — via its XML encoding
+// — and augments it with data-movement operations.
+package memo
+
+import (
+	"fmt"
+	"strings"
+
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/catalog"
+)
+
+// GroupID identifies a group within a memo. IDs are 1-based to match the
+// paper's Figure 3 numbering; 0 is invalid.
+type GroupID int
+
+// GroupExpr is one operator with groups as children. Logical and physical
+// expressions share the structure; physical ones carry a cost.
+type GroupExpr struct {
+	Op       algebra.Operator
+	Children []GroupID
+	Physical bool
+
+	// Cost is the serial cost model's total cost (own + best children)
+	// for physical expressions; 0 until costed.
+	Cost float64
+	// BestChildren pins the winning child expression index per child
+	// group, set during costing.
+	BestChildren []int
+}
+
+// Fingerprint identifies the expression for duplicate detection.
+func (e *GroupExpr) Fingerprint() string {
+	parts := make([]string, 0, len(e.Children)+1)
+	parts = append(parts, e.Op.Fingerprint())
+	for _, c := range e.Children {
+		parts = append(parts, fmt.Sprintf("g%d", c))
+	}
+	return strings.Join(parts, "|")
+}
+
+// Group is a set of equivalent expressions with shared logical properties.
+type Group struct {
+	ID    GroupID
+	Exprs []*GroupExpr
+	Props *LogicalProps
+
+	// winner is the index into Exprs of the cheapest physical expression,
+	// -1 before costing.
+	winner int
+	// explored guards re-running transformation rules.
+	exploredRound int
+}
+
+// Winner returns the cheapest physical expression, or nil.
+func (g *Group) Winner() *GroupExpr {
+	if g.winner < 0 || g.winner >= len(g.Exprs) {
+		return nil
+	}
+	return g.Exprs[g.winner]
+}
+
+// Memo is the search space: groups plus a fingerprint index for duplicate
+// detection of expressions across groups.
+type Memo struct {
+	Shell  *catalog.Shell
+	Groups []*Group // Groups[0] is a placeholder; IDs are 1-based
+	Root   GroupID
+
+	exprGroup map[string]GroupID // expression fingerprint → owning group
+
+	// Budget caps the number of expressions created during exploration,
+	// mirroring SQL Server's optimization timeout (paper §3.1). 0 means
+	// unlimited.
+	Budget    int
+	exhausted bool
+	created   int
+}
+
+// DefaultBudget is the default exploration budget (expressions created
+// before the optimizer "times out", paper §3.1). Large join graphs exhaust
+// it and fall back to the space explored so far, exactly like SQL Server's
+// timeout; 0 disables the cap.
+const DefaultBudget = 5000
+
+// New returns an empty memo over the given shell database.
+func New(shell *catalog.Shell) *Memo {
+	return &Memo{
+		Shell:     shell,
+		Groups:    []*Group{nil},
+		exprGroup: map[string]GroupID{},
+	}
+}
+
+// Group resolves a group by ID.
+func (m *Memo) Group(id GroupID) *Group { return m.Groups[id] }
+
+// NumGroups returns the number of live groups.
+func (m *Memo) NumGroups() int { return len(m.Groups) - 1 }
+
+// NumExprs returns the total number of group expressions.
+func (m *Memo) NumExprs() int {
+	n := 0
+	for _, g := range m.Groups[1:] {
+		n += len(g.Exprs)
+	}
+	return n
+}
+
+// Exhausted reports whether exploration hit the budget before finishing —
+// the analogue of SQL Server's optimizer timeout.
+func (m *Memo) Exhausted() bool { return m.exhausted }
+
+// Insert adds a whole operator tree, returning its group. Duplicate
+// subtrees collapse onto existing groups.
+func (m *Memo) Insert(t *algebra.Tree) GroupID {
+	children := make([]GroupID, len(t.Children))
+	for i, c := range t.Children {
+		children[i] = m.Insert(c)
+	}
+	id, _ := m.InsertExpr(&GroupExpr{Op: t.Op, Children: children}, 0)
+	return id
+}
+
+// InsertSeed adds an alternative plan for the root group — the paper's
+// §3.1 seeding: "we seed the MEMO with execution plans that consider
+// distribution information of tables". The tree must be semantically
+// equivalent to the root (the caller asserts this); its subtrees dedup
+// against existing groups where fingerprints match.
+func (m *Memo) InsertSeed(t *algebra.Tree) {
+	children := make([]GroupID, len(t.Children))
+	for i, c := range t.Children {
+		children[i] = m.Insert(c)
+	}
+	m.InsertExpr(&GroupExpr{Op: t.Op, Children: children}, m.Root)
+}
+
+// InsertExpr adds one expression. If target is 0, the expression lands in
+// its fingerprint's existing group or a fresh one; otherwise it must merge
+// into the target group (the caller asserts equivalence, e.g. the output
+// of a transformation rule). Returns the owning group and whether the
+// expression was new.
+func (m *Memo) InsertExpr(e *GroupExpr, target GroupID) (GroupID, bool) {
+	fp := e.Fingerprint()
+	if owner, ok := m.exprGroup[fp]; ok {
+		if target != 0 && owner != target {
+			// Two groups turn out to be equivalent; fold the smaller
+			// (newer) one into the older. This is rare with our rule set;
+			// handle by aliasing expressions into the target.
+			m.mergeGroups(owner, target)
+		}
+		return m.exprGroup[fp], false
+	}
+	if target == 0 {
+		g := &Group{ID: GroupID(len(m.Groups)), winner: -1}
+		m.Groups = append(m.Groups, g)
+		target = g.ID
+	}
+	g := m.Groups[target]
+	g.Exprs = append(g.Exprs, e)
+	m.exprGroup[fp] = target
+	m.created++
+	if g.Props == nil && !e.Physical {
+		g.Props = m.deriveProps(e)
+	}
+	return target, true
+}
+
+// mergeGroups re-points every expression of group src into dst. Children
+// references to src elsewhere in the memo are rewritten.
+func (m *Memo) mergeGroups(a, b GroupID) {
+	if a == b {
+		return
+	}
+	dst, src := a, b
+	if src < dst {
+		dst, src = src, dst
+	}
+	srcG := m.Groups[src]
+	dstG := m.Groups[dst]
+	for _, e := range srcG.Exprs {
+		fp := e.Fingerprint()
+		delete(m.exprGroup, fp)
+	}
+	// Rewrite child references across the whole memo.
+	for _, g := range m.Groups[1:] {
+		for _, e := range g.Exprs {
+			for i, c := range e.Children {
+				if c == src {
+					e.Children[i] = dst
+				}
+			}
+		}
+	}
+	// Re-insert src expressions into dst (fingerprints changed).
+	for _, e := range srcG.Exprs {
+		fp := e.Fingerprint()
+		if _, ok := m.exprGroup[fp]; !ok {
+			dstG.Exprs = append(dstG.Exprs, e)
+			m.exprGroup[fp] = dst
+		}
+	}
+	srcG.Exprs = nil
+	if m.Root == src {
+		m.Root = dst
+	}
+}
+
+// budgetLeft reports whether exploration may create more expressions.
+func (m *Memo) budgetLeft() bool {
+	if m.Budget > 0 && m.created >= m.Budget {
+		m.exhausted = true
+		return false
+	}
+	return true
+}
+
+// String renders the memo in the paper's Figure 3 style: one line per
+// group, expressions numbered group.ordinal.
+func (m *Memo) String() string {
+	var b strings.Builder
+	for i := len(m.Groups) - 1; i >= 1; i-- {
+		g := m.Groups[i]
+		if len(g.Exprs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "Group %d", g.ID)
+		if g.Props != nil {
+			fmt.Fprintf(&b, " (rows=%.5g width=%.4g)", g.Props.Rows, g.Props.Width)
+		}
+		if m.Root == g.ID {
+			b.WriteString(" [root]")
+		}
+		b.WriteString(":\n")
+		for j, e := range g.Exprs {
+			kind := "L"
+			if e.Physical {
+				kind = "P"
+			}
+			fmt.Fprintf(&b, "  %d.%d %s %s", g.ID, j+1, kind, e.Op.OpName())
+			if len(e.Children) > 0 {
+				parts := make([]string, len(e.Children))
+				for k, c := range e.Children {
+					parts[k] = fmt.Sprintf("%d", c)
+				}
+				fmt.Fprintf(&b, "(%s)", strings.Join(parts, ","))
+			}
+			if e.Physical && e.Cost > 0 {
+				fmt.Fprintf(&b, " cost=%.5g", e.Cost)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// LogicalExprs returns the group's logical expressions.
+func (g *Group) LogicalExprs() []*GroupExpr {
+	var out []*GroupExpr
+	for _, e := range g.Exprs {
+		if !e.Physical {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,761 @@
+// Package memoxml implements the interface boundary between the SQL Server
+// compilation stack and the PDW engine (paper Figure 2, components 3–4):
+// the XML Generator that encodes the optimizer MEMO, and the memo parser
+// that reconstructs it on the PDW side. The PDW optimizer consumes only
+// this representation — never in-process memo pointers — mirroring the
+// "showplan-XML-like" compilation entry point described in §3.1.
+package memoxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/catalog"
+	"pdwqo/internal/memo"
+	"pdwqo/internal/sqlparser"
+	"pdwqo/internal/types"
+)
+
+// --- XML schema ---
+
+type xMemo struct {
+	XMLName   xml.Name `xml:"Memo"`
+	Root      int      `xml:"root,attr"`
+	MaxCol    int      `xml:"maxCol,attr"`
+	Exhausted bool     `xml:"exhausted,attr,omitempty"`
+	Groups    []xGroup `xml:"Group"`
+}
+
+type xGroup struct {
+	ID    int        `xml:"id,attr"`
+	Rows  float64    `xml:"rows,attr"`
+	Width float64    `xml:"width,attr"`
+	Out   []xCol     `xml:"Out>Col"`
+	Stats []xColStat `xml:"Stats>Col"`
+	Keys  []string   `xml:"Keys>Key"`
+	Exprs []xExpr    `xml:"Expr"`
+}
+
+type xCol struct {
+	ID   int    `xml:"id,attr"`
+	Name string `xml:"name,attr"`
+	Qual string `xml:"qual,attr,omitempty"`
+	Type uint8  `xml:"type,attr"`
+}
+
+type xColStat struct {
+	ID       int     `xml:"id,attr"`
+	NDV      float64 `xml:"ndv,attr"`
+	NullFrac float64 `xml:"nullFrac,attr"`
+	Width    float64 `xml:"width,attr"`
+}
+
+type xExpr struct {
+	Op       string  `xml:"op,attr"`
+	Children string  `xml:"children,attr,omitempty"`
+	Physical bool    `xml:"physical,attr,omitempty"`
+	Algo     string  `xml:"algo,attr,omitempty"`
+	Cost     float64 `xml:"cost,attr,omitempty"`
+	Winner   bool    `xml:"winner,attr,omitempty"`
+
+	// Payload variants (exactly one populated, matching Op).
+	Table    string       `xml:"table,attr,omitempty"`
+	Alias    string       `xml:"alias,attr,omitempty"`
+	Cols     []xCol       `xml:"Cols>Col"`
+	Filter   *xScalar     `xml:"Filter>S"`
+	Defs     []xProjDef   `xml:"Defs>Def"`
+	JoinKind uint8        `xml:"joinKind,attr,omitempty"`
+	On       *xScalar     `xml:"On>S"`
+	Keys     string       `xml:"keys,attr,omitempty"`
+	Aggs     []xAgg       `xml:"Aggs>Agg"`
+	Phase    uint8        `xml:"phase,attr,omitempty"`
+	SortKeys []xSortKey   `xml:"SortKeys>Key"`
+	Top      int64        `xml:"top,attr,omitempty"`
+	Rows     []xValuesRow `xml:"Rows>Row"`
+}
+
+type xValuesRow struct {
+	Vals []xScalar `xml:"V"`
+}
+
+type xProjDef struct {
+	ID   int     `xml:"id,attr"`
+	Name string  `xml:"name,attr"`
+	Expr xScalar `xml:"S"`
+}
+
+type xAgg struct {
+	Func     uint8    `xml:"func,attr"`
+	Distinct bool     `xml:"distinct,attr,omitempty"`
+	ID       int      `xml:"id,attr"`
+	Name     string   `xml:"name,attr"`
+	Arg      *xScalar `xml:"S"`
+}
+
+type xSortKey struct {
+	ID   int  `xml:"id,attr"`
+	Desc bool `xml:"desc,attr,omitempty"`
+}
+
+// xScalar is the recursive scalar-expression encoding.
+type xScalar struct {
+	Kind string `xml:"kind,attr"`
+
+	Col     *xCol     `xml:"Col"`
+	Val     string    `xml:"val,attr,omitempty"`
+	ValKind uint8     `xml:"valKind,attr,omitempty"`
+	Op      uint8     `xml:"binop,attr,omitempty"`
+	Negated bool      `xml:"negated,attr,omitempty"`
+	Pattern string    `xml:"pattern,attr,omitempty"`
+	Name    string    `xml:"name,attr,omitempty"`
+	OutKind uint8     `xml:"outKind,attr,omitempty"`
+	Args    []xScalar `xml:"S"`
+}
+
+// --- Encoding ---
+
+// Encode serializes a memo (groups, logical and physical expressions,
+// statistics, winners) as XML.
+func Encode(m *memo.Memo) ([]byte, error) {
+	maxCol := 0
+	x := xMemo{Root: int(m.Root)}
+	x.Exhausted = m.Exhausted()
+	for _, g := range m.Groups[1:] {
+		if g == nil || len(g.Exprs) == 0 {
+			continue
+		}
+		xg := xGroup{ID: int(g.ID)}
+		if g.Props != nil {
+			xg.Rows = g.Props.Rows
+			xg.Width = g.Props.Width
+			for _, c := range g.Props.OutCols {
+				xg.Out = append(xg.Out, encodeColMeta(c))
+				if int(c.ID) > maxCol {
+					maxCol = int(c.ID)
+				}
+			}
+			for _, id := range sortedStatIDs(g.Props) {
+				cs := g.Props.Cols[id]
+				xg.Stats = append(xg.Stats, xColStat{ID: int(id), NDV: cs.NDV, NullFrac: cs.NullFrac, Width: cs.Width})
+			}
+			for _, k := range g.Props.Keys {
+				xg.Keys = append(xg.Keys, colSetString(k))
+			}
+		}
+		winner := g.Winner()
+		for _, e := range g.Exprs {
+			xe, err := encodeExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			if e == winner {
+				xe.Winner = true
+			}
+			xg.Exprs = append(xg.Exprs, xe)
+		}
+		x.Groups = append(x.Groups, xg)
+	}
+	x.MaxCol = maxCol + 1
+	out, err := xml.MarshalIndent(x, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("memoxml: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+func sortedStatIDs(p *memo.LogicalProps) []algebra.ColumnID {
+	s := algebra.NewColSet()
+	for id := range p.Cols {
+		s.Add(id)
+	}
+	return s.Sorted()
+}
+
+func colSetString(s algebra.ColSet) string {
+	ids := s.Sorted()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(int(id))
+	}
+	return strings.Join(parts, ",")
+}
+
+func encodeColMeta(c algebra.ColumnMeta) xCol {
+	return xCol{ID: int(c.ID), Name: c.Name, Qual: c.Qual, Type: uint8(c.Type)}
+}
+
+func encodeExpr(e *memo.GroupExpr) (xExpr, error) {
+	children := make([]string, len(e.Children))
+	for i, c := range e.Children {
+		children[i] = strconv.Itoa(int(c))
+	}
+	xe := xExpr{Children: strings.Join(children, ","), Physical: e.Physical, Cost: e.Cost}
+	op := e.Op
+	if p, ok := op.(*algebra.Phys); ok {
+		xe.Algo = p.Algo
+		op = p.Of
+	}
+	if err := encodeOp(&xe, op); err != nil {
+		return xe, err
+	}
+	return xe, nil
+}
+
+func encodeOp(xe *xExpr, op algebra.Operator) error {
+	switch o := op.(type) {
+	case *algebra.Get:
+		xe.Op = "Get"
+		xe.Table = o.Table.Name
+		xe.Alias = o.Alias
+		for _, c := range o.Cols {
+			xe.Cols = append(xe.Cols, encodeColMeta(c))
+		}
+	case *algebra.Values:
+		xe.Op = "Values"
+		for _, c := range o.Cols {
+			xe.Cols = append(xe.Cols, encodeColMeta(c))
+		}
+		for _, row := range o.Rows {
+			xr := xValuesRow{}
+			for _, v := range row {
+				xr.Vals = append(xr.Vals, *encodeConst(v))
+			}
+			xe.Rows = append(xe.Rows, xr)
+		}
+	case *algebra.Select:
+		xe.Op = "Select"
+		s, err := encodeScalar(o.Filter)
+		if err != nil {
+			return err
+		}
+		xe.Filter = s
+	case *algebra.Project:
+		xe.Op = "Project"
+		for _, d := range o.Defs {
+			s, err := encodeScalar(d.Expr)
+			if err != nil {
+				return err
+			}
+			xe.Defs = append(xe.Defs, xProjDef{ID: int(d.ID), Name: d.Name, Expr: *s})
+		}
+	case *algebra.Join:
+		xe.Op = "Join"
+		xe.JoinKind = uint8(o.Kind)
+		if o.On != nil {
+			s, err := encodeScalar(o.On)
+			if err != nil {
+				return err
+			}
+			xe.On = s
+		}
+	case *algebra.GroupBy:
+		xe.Op = "GroupBy"
+		xe.Phase = uint8(o.Phase)
+		keys := make([]string, len(o.Keys))
+		for i, k := range o.Keys {
+			keys[i] = strconv.Itoa(int(k))
+		}
+		xe.Keys = strings.Join(keys, ",")
+		for _, a := range o.Aggs {
+			xa := xAgg{Func: uint8(a.Func), Distinct: a.Distinct, ID: int(a.ID), Name: a.Name}
+			if a.Arg != nil {
+				s, err := encodeScalar(a.Arg)
+				if err != nil {
+					return err
+				}
+				xa.Arg = s
+			}
+			xe.Aggs = append(xe.Aggs, xa)
+		}
+	case *algebra.Sort:
+		xe.Op = "Sort"
+		xe.Top = o.Top
+		for _, k := range o.Keys {
+			xe.SortKeys = append(xe.SortKeys, xSortKey{ID: int(k.ID), Desc: k.Desc})
+		}
+	case *algebra.UnionAll:
+		xe.Op = "UnionAll"
+	default:
+		return fmt.Errorf("memoxml: cannot encode operator %T", op)
+	}
+	return nil
+}
+
+func encodeScalar(e algebra.Scalar) (*xScalar, error) {
+	switch x := e.(type) {
+	case *algebra.ColRef:
+		c := encodeColMeta(x.Meta)
+		c.ID = int(x.ID)
+		return &xScalar{Kind: "col", Col: &c}, nil
+	case *algebra.Const:
+		return encodeConst(x.Val), nil
+	case *algebra.Binary:
+		l, err := encodeScalar(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := encodeScalar(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &xScalar{Kind: "bin", Op: uint8(x.Op), Args: []xScalar{*l, *r}}, nil
+	case *algebra.Not:
+		a, err := encodeScalar(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &xScalar{Kind: "not", Args: []xScalar{*a}}, nil
+	case *algebra.Neg:
+		a, err := encodeScalar(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &xScalar{Kind: "neg", Args: []xScalar{*a}}, nil
+	case *algebra.IsNull:
+		a, err := encodeScalar(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &xScalar{Kind: "isnull", Negated: x.Negated, Args: []xScalar{*a}}, nil
+	case *algebra.Like:
+		a, err := encodeScalar(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &xScalar{Kind: "like", Negated: x.Negated, Pattern: x.Pattern, Args: []xScalar{*a}}, nil
+	case *algebra.InList:
+		out := &xScalar{Kind: "inlist", Negated: x.Negated}
+		a, err := encodeScalar(x.E)
+		if err != nil {
+			return nil, err
+		}
+		out.Args = append(out.Args, *a)
+		for _, el := range x.List {
+			s, err := encodeScalar(el)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, *s)
+		}
+		return out, nil
+	case *algebra.Func:
+		out := &xScalar{Kind: "func", Name: x.Name, OutKind: uint8(x.Out)}
+		for _, a := range x.Args {
+			s, err := encodeScalar(a)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, *s)
+		}
+		return out, nil
+	case *algebra.Case:
+		out := &xScalar{Kind: "case"}
+		for _, w := range x.Whens {
+			c, err := encodeScalar(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			t, err := encodeScalar(w.Then)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, *c, *t)
+		}
+		if x.Else != nil {
+			e2, err := encodeScalar(x.Else)
+			if err != nil {
+				return nil, err
+			}
+			out.Negated = true // marks presence of ELSE
+			out.Args = append(out.Args, *e2)
+		}
+		return out, nil
+	case *algebra.Cast:
+		a, err := encodeScalar(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &xScalar{Kind: "cast", OutKind: uint8(x.To), Args: []xScalar{*a}}, nil
+	case *algebra.Subquery:
+		return nil, fmt.Errorf("memoxml: subquery survived normalization")
+	default:
+		return nil, fmt.Errorf("memoxml: cannot encode scalar %T", e)
+	}
+}
+
+func encodeConst(v types.Value) *xScalar {
+	out := &xScalar{Kind: "const", ValKind: uint8(v.Kind())}
+	switch v.Kind() {
+	case types.KindNull:
+	case types.KindBool:
+		out.Val = strconv.FormatBool(v.Bool())
+	case types.KindInt:
+		out.Val = strconv.FormatInt(v.Int(), 10)
+	case types.KindFloat:
+		out.Val = strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case types.KindString:
+		out.Val = v.Str()
+	case types.KindDate:
+		out.Val = strconv.FormatInt(v.DateDays(), 10)
+	}
+	return out
+}
+
+// --- Decoding ---
+
+// DecodedExpr is one parsed group expression.
+type DecodedExpr struct {
+	Op       algebra.Operator
+	Children []int
+	Physical bool
+	Cost     float64
+	Winner   bool
+}
+
+// DecodedGroup is one parsed group with its logical properties.
+type DecodedGroup struct {
+	ID       int
+	Rows     float64
+	Width    float64
+	OutCols  []algebra.ColumnMeta
+	ColStats map[algebra.ColumnID]DecodedColStat
+	Keys     []algebra.ColSet
+	Exprs    []DecodedExpr
+}
+
+// DecodedColStat mirrors the exported per-column statistics.
+type DecodedColStat struct {
+	NDV      float64
+	NullFrac float64
+	Width    float64
+}
+
+// Decoded is the parsed memo, the input to the PDW optimizer.
+type Decoded struct {
+	Root      int
+	MaxCol    int
+	Exhausted bool
+	Groups    map[int]*DecodedGroup
+}
+
+// Decode parses memo XML, resolving table references against the shell
+// database.
+func Decode(data []byte, shell *catalog.Shell) (*Decoded, error) {
+	var x xMemo
+	if err := xml.Unmarshal(data, &x); err != nil {
+		return nil, fmt.Errorf("memoxml: %w", err)
+	}
+	out := &Decoded{Root: x.Root, MaxCol: x.MaxCol, Exhausted: x.Exhausted, Groups: map[int]*DecodedGroup{}}
+	for _, xg := range x.Groups {
+		g := &DecodedGroup{
+			ID:       xg.ID,
+			Rows:     xg.Rows,
+			Width:    xg.Width,
+			ColStats: map[algebra.ColumnID]DecodedColStat{},
+		}
+		for _, c := range xg.Out {
+			g.OutCols = append(g.OutCols, decodeColMeta(c))
+		}
+		for _, s := range xg.Stats {
+			g.ColStats[algebra.ColumnID(s.ID)] = DecodedColStat{NDV: s.NDV, NullFrac: s.NullFrac, Width: s.Width}
+		}
+		for _, k := range xg.Keys {
+			set, err := parseColSet(k)
+			if err != nil {
+				return nil, err
+			}
+			g.Keys = append(g.Keys, set)
+		}
+		for _, xe := range xg.Exprs {
+			e, err := decodeExpr(xe, shell)
+			if err != nil {
+				return nil, err
+			}
+			g.Exprs = append(g.Exprs, e)
+		}
+		out.Groups[g.ID] = g
+	}
+	if _, ok := out.Groups[out.Root]; !ok {
+		return nil, fmt.Errorf("memoxml: root group %d missing", out.Root)
+	}
+	return out, nil
+}
+
+func decodeColMeta(c xCol) algebra.ColumnMeta {
+	return algebra.ColumnMeta{ID: algebra.ColumnID(c.ID), Name: c.Name, Qual: c.Qual, Type: types.Kind(c.Type)}
+}
+
+func parseColSet(s string) (algebra.ColSet, error) {
+	set := algebra.NewColSet()
+	if s == "" {
+		return set, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("memoxml: bad column id %q", part)
+		}
+		set.Add(algebra.ColumnID(n))
+	}
+	return set, nil
+}
+
+func decodeExpr(xe xExpr, shell *catalog.Shell) (DecodedExpr, error) {
+	e := DecodedExpr{Physical: xe.Physical, Cost: xe.Cost, Winner: xe.Winner}
+	if xe.Children != "" {
+		for _, part := range strings.Split(xe.Children, ",") {
+			n, err := strconv.Atoi(part)
+			if err != nil {
+				return e, fmt.Errorf("memoxml: bad child group %q", part)
+			}
+			e.Children = append(e.Children, n)
+		}
+	}
+	op, err := decodeOp(xe, shell)
+	if err != nil {
+		return e, err
+	}
+	if xe.Algo != "" {
+		op = algebra.NewPhys(xe.Algo, op)
+	}
+	e.Op = op
+	return e, nil
+}
+
+func decodeOp(xe xExpr, shell *catalog.Shell) (algebra.Operator, error) {
+	switch xe.Op {
+	case "Get":
+		tbl := shell.Table(xe.Table)
+		if tbl == nil {
+			return nil, fmt.Errorf("memoxml: unknown table %q", xe.Table)
+		}
+		cols := make([]algebra.ColumnMeta, len(xe.Cols))
+		for i, c := range xe.Cols {
+			cols[i] = decodeColMeta(c)
+		}
+		return &algebra.Get{Table: tbl, Alias: xe.Alias, Cols: cols}, nil
+	case "Values":
+		cols := make([]algebra.ColumnMeta, len(xe.Cols))
+		for i, c := range xe.Cols {
+			cols[i] = decodeColMeta(c)
+		}
+		v := &algebra.Values{Cols: cols}
+		for _, xr := range xe.Rows {
+			row := make([]types.Value, len(xr.Vals))
+			for i, xv := range xr.Vals {
+				val, err := decodeConst(xv)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = val
+			}
+			v.Rows = append(v.Rows, row)
+		}
+		return v, nil
+	case "Select":
+		f, err := decodeScalar(*xe.Filter)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Select{Filter: f}, nil
+	case "Project":
+		defs := make([]algebra.ProjDef, len(xe.Defs))
+		for i, d := range xe.Defs {
+			expr, err := decodeScalar(d.Expr)
+			if err != nil {
+				return nil, err
+			}
+			defs[i] = algebra.ProjDef{Expr: expr, ID: algebra.ColumnID(d.ID), Name: d.Name}
+		}
+		return &algebra.Project{Defs: defs}, nil
+	case "Join":
+		j := &algebra.Join{Kind: algebra.JoinKind(xe.JoinKind)}
+		if xe.On != nil {
+			on, err := decodeScalar(*xe.On)
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		}
+		return j, nil
+	case "GroupBy":
+		gb := &algebra.GroupBy{Phase: algebra.AggPhase(xe.Phase)}
+		if xe.Keys != "" {
+			for _, part := range strings.Split(xe.Keys, ",") {
+				n, err := strconv.Atoi(part)
+				if err != nil {
+					return nil, fmt.Errorf("memoxml: bad group key %q", part)
+				}
+				gb.Keys = append(gb.Keys, algebra.ColumnID(n))
+			}
+		}
+		for _, a := range xe.Aggs {
+			def := algebra.AggDef{
+				Func:     algebra.AggFunc(a.Func),
+				Distinct: a.Distinct,
+				ID:       algebra.ColumnID(a.ID),
+				Name:     a.Name,
+			}
+			if a.Arg != nil {
+				arg, err := decodeScalar(*a.Arg)
+				if err != nil {
+					return nil, err
+				}
+				def.Arg = arg
+			}
+			gb.Aggs = append(gb.Aggs, def)
+		}
+		return gb, nil
+	case "Sort":
+		s := &algebra.Sort{Top: xe.Top}
+		for _, k := range xe.SortKeys {
+			s.Keys = append(s.Keys, algebra.SortKey{ID: algebra.ColumnID(k.ID), Desc: k.Desc})
+		}
+		return s, nil
+	case "UnionAll":
+		return &algebra.UnionAll{}, nil
+	}
+	return nil, fmt.Errorf("memoxml: unknown operator %q", xe.Op)
+}
+
+func decodeScalar(x xScalar) (algebra.Scalar, error) {
+	switch x.Kind {
+	case "col":
+		m := decodeColMeta(*x.Col)
+		return &algebra.ColRef{ID: m.ID, Meta: m}, nil
+	case "const":
+		v, err := decodeConst(x)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Const{Val: v}, nil
+	case "bin":
+		l, err := decodeScalar(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeScalar(x.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Binary{Op: sqlparser.BinOp(x.Op), L: l, R: r}, nil
+	case "not":
+		a, err := decodeScalar(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Not{E: a}, nil
+	case "neg":
+		a, err := decodeScalar(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Neg{E: a}, nil
+	case "isnull":
+		a, err := decodeScalar(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.IsNull{E: a, Negated: x.Negated}, nil
+	case "like":
+		a, err := decodeScalar(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Like{E: a, Pattern: x.Pattern, Negated: x.Negated}, nil
+	case "inlist":
+		a, err := decodeScalar(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		out := &algebra.InList{E: a, Negated: x.Negated}
+		for _, el := range x.Args[1:] {
+			s, err := decodeScalar(el)
+			if err != nil {
+				return nil, err
+			}
+			out.List = append(out.List, s)
+		}
+		return out, nil
+	case "func":
+		out := &algebra.Func{Name: x.Name, Out: types.Kind(x.OutKind)}
+		for _, a := range x.Args {
+			s, err := decodeScalar(a)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, s)
+		}
+		return out, nil
+	case "case":
+		out := &algebra.Case{}
+		args := x.Args
+		if x.Negated { // ELSE present
+			e, err := decodeScalar(args[len(args)-1])
+			if err != nil {
+				return nil, err
+			}
+			out.Else = e
+			args = args[:len(args)-1]
+		}
+		if len(args)%2 != 0 {
+			return nil, fmt.Errorf("memoxml: malformed CASE")
+		}
+		for i := 0; i < len(args); i += 2 {
+			c, err := decodeScalar(args[i])
+			if err != nil {
+				return nil, err
+			}
+			t, err := decodeScalar(args[i+1])
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, algebra.CaseWhen{Cond: c, Then: t})
+		}
+		return out, nil
+	case "cast":
+		a, err := decodeScalar(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Cast{E: a, To: types.Kind(x.OutKind)}, nil
+	}
+	return nil, fmt.Errorf("memoxml: unknown scalar kind %q", x.Kind)
+}
+
+func decodeConst(x xScalar) (types.Value, error) {
+	switch types.Kind(x.ValKind) {
+	case types.KindNull:
+		return types.Null, nil
+	case types.KindBool:
+		b, err := strconv.ParseBool(x.Val)
+		if err != nil {
+			return types.Null, fmt.Errorf("memoxml: bad bool %q", x.Val)
+		}
+		return types.NewBool(b), nil
+	case types.KindInt:
+		n, err := strconv.ParseInt(x.Val, 10, 64)
+		if err != nil {
+			return types.Null, fmt.Errorf("memoxml: bad int %q", x.Val)
+		}
+		return types.NewInt(n), nil
+	case types.KindFloat:
+		f, err := strconv.ParseFloat(x.Val, 64)
+		if err != nil {
+			return types.Null, fmt.Errorf("memoxml: bad float %q", x.Val)
+		}
+		return types.NewFloat(f), nil
+	case types.KindString:
+		return types.NewString(x.Val), nil
+	case types.KindDate:
+		n, err := strconv.ParseInt(x.Val, 10, 64)
+		if err != nil {
+			return types.Null, fmt.Errorf("memoxml: bad date %q", x.Val)
+		}
+		return types.NewDate(n), nil
+	}
+	return types.Null, fmt.Errorf("memoxml: unknown value kind %d", x.ValKind)
+}

@@ -1,0 +1,511 @@
+package normalize
+
+import (
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/sqlparser"
+	"pdwqo/internal/stats"
+	"pdwqo/internal/types"
+)
+
+// foldTree applies constant folding and boolean simplification to every
+// scalar in the tree.
+func foldTree(t *algebra.Tree) *algebra.Tree {
+	children := make([]*algebra.Tree, len(t.Children))
+	for i, c := range t.Children {
+		children[i] = foldTree(c)
+	}
+	op := t.Op
+	switch o := op.(type) {
+	case *algebra.Select:
+		op = &algebra.Select{Filter: FoldScalar(o.Filter)}
+	case *algebra.Project:
+		defs := make([]algebra.ProjDef, len(o.Defs))
+		for i, d := range o.Defs {
+			defs[i] = algebra.ProjDef{Expr: FoldScalar(d.Expr), ID: d.ID, Name: d.Name}
+		}
+		op = &algebra.Project{Defs: defs}
+	case *algebra.Join:
+		if o.On != nil {
+			op = &algebra.Join{Kind: o.Kind, On: FoldScalar(o.On)}
+		}
+	case *algebra.GroupBy:
+		aggs := make([]algebra.AggDef, len(o.Aggs))
+		for i, a := range o.Aggs {
+			aggs[i] = a
+			if a.Arg != nil {
+				aggs[i].Arg = FoldScalar(a.Arg)
+			}
+		}
+		op = &algebra.GroupBy{Keys: o.Keys, Aggs: aggs, Phase: o.Phase}
+	}
+	out := algebra.NewTree(op, children...)
+	// A Select with a constant-true filter disappears; constant-false is
+	// handled by contradiction detection.
+	if sel, ok := out.Op.(*algebra.Select); ok {
+		if c, ok := sel.Filter.(*algebra.Const); ok && !c.Val.IsNull() && c.Val.Kind() == types.KindBool && c.Val.Bool() {
+			return out.Children[0]
+		}
+	}
+	return out
+}
+
+// FoldScalar simplifies an expression: constant arithmetic and comparisons
+// evaluate; AND/OR with constant sides collapse; double negation drops.
+func FoldScalar(e algebra.Scalar) algebra.Scalar {
+	return algebra.RewriteScalar(e, func(x algebra.Scalar) algebra.Scalar {
+		switch b := x.(type) {
+		case *algebra.Binary:
+			lc, lok := b.L.(*algebra.Const)
+			rc, rok := b.R.(*algebra.Const)
+			switch b.Op {
+			case sqlparser.OpAnd:
+				if lok {
+					return foldAndSide(lc.Val, b.R)
+				}
+				if rok {
+					return foldAndSide(rc.Val, b.L)
+				}
+			case sqlparser.OpOr:
+				if lok {
+					return foldOrSide(lc.Val, b.R)
+				}
+				if rok {
+					return foldOrSide(rc.Val, b.L)
+				}
+			default:
+				if lok && rok {
+					if v, ok := evalConstBinary(b.Op, lc.Val, rc.Val); ok {
+						return &algebra.Const{Val: v}
+					}
+				}
+			}
+		case *algebra.Not:
+			if c, ok := b.E.(*algebra.Const); ok {
+				if c.Val.IsNull() {
+					return &algebra.Const{Val: types.Null}
+				}
+				if c.Val.Kind() == types.KindBool {
+					return &algebra.Const{Val: types.NewBool(!c.Val.Bool())}
+				}
+			}
+			if inner, ok := b.E.(*algebra.Not); ok {
+				return inner.E
+			}
+		case *algebra.Neg:
+			if c, ok := b.E.(*algebra.Const); ok && c.Val.Kind().Numeric() {
+				if v, err := types.Neg(c.Val); err == nil {
+					return &algebra.Const{Val: v}
+				}
+			}
+		case *algebra.IsNull:
+			if c, ok := b.E.(*algebra.Const); ok {
+				return &algebra.Const{Val: types.NewBool(c.Val.IsNull() != b.Negated)}
+			}
+		case *algebra.Like:
+			if c, ok := b.E.(*algebra.Const); ok && c.Val.Kind() == types.KindString {
+				m := MatchLike(c.Val.Str(), b.Pattern)
+				return &algebra.Const{Val: types.NewBool(m != b.Negated)}
+			}
+		case *algebra.Func:
+			allConst := len(b.Args) > 0
+			for _, a := range b.Args {
+				if _, ok := a.(*algebra.Const); !ok {
+					allConst = false
+				}
+			}
+			if allConst {
+				vals := make([]types.Value, len(b.Args))
+				for i, a := range b.Args {
+					vals[i] = a.(*algebra.Const).Val
+				}
+				if v, err := algebra.EvalConstFunc(b.Name, vals); err == nil {
+					return &algebra.Const{Val: v}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func foldAndSide(v types.Value, other algebra.Scalar) algebra.Scalar {
+	if !v.IsNull() && v.Kind() == types.KindBool {
+		if v.Bool() {
+			return other
+		}
+		return &algebra.Const{Val: types.NewBool(false)}
+	}
+	return nil
+}
+
+func foldOrSide(v types.Value, other algebra.Scalar) algebra.Scalar {
+	if !v.IsNull() && v.Kind() == types.KindBool {
+		if v.Bool() {
+			return &algebra.Const{Val: types.NewBool(true)}
+		}
+		return other
+	}
+	return nil
+}
+
+// evalConstBinary evaluates op over two constants with SQL NULL semantics.
+func evalConstBinary(op sqlparser.BinOp, l, r types.Value) (types.Value, bool) {
+	if op.IsComparison() {
+		if l.IsNull() || r.IsNull() {
+			return types.Null, true
+		}
+		if !types.Comparable(l.Kind(), r.Kind()) {
+			return types.Null, false
+		}
+		c := types.Compare(l, r)
+		var out bool
+		switch op {
+		case sqlparser.OpEq:
+			out = c == 0
+		case sqlparser.OpNe:
+			out = c != 0
+		case sqlparser.OpLt:
+			out = c < 0
+		case sqlparser.OpLe:
+			out = c <= 0
+		case sqlparser.OpGt:
+			out = c > 0
+		case sqlparser.OpGe:
+			out = c >= 0
+		}
+		return types.NewBool(out), true
+	}
+	var v types.Value
+	var err error
+	switch op {
+	case sqlparser.OpAdd:
+		v, err = types.Add(l, r)
+	case sqlparser.OpSub:
+		v, err = types.Sub(l, r)
+	case sqlparser.OpMul:
+		v, err = types.Mul(l, r)
+	case sqlparser.OpDiv:
+		v, err = types.Div(l, r)
+	default:
+		return types.Null, false
+	}
+	if err != nil {
+		return types.Null, false
+	}
+	return v, true
+}
+
+// MatchLike evaluates a SQL LIKE pattern with % and _ wildcards; shared by
+// constant folding and the runtime evaluator.
+func MatchLike(s, pattern string) bool {
+	// Fast path for pure-prefix patterns, the common TPC-H shape.
+	if i := indexWildcard(pattern); i < 0 {
+		return s == pattern
+	} else if pattern[i] == '%' && i == len(pattern)-1 && indexWildcard(pattern[:i]) < 0 {
+		return stats.MatchesLikePrefix(s, pattern[:i])
+	}
+	return likeMatch(s, pattern)
+}
+
+func indexWildcard(p string) int {
+	for i := 0; i < len(p); i++ {
+		if p[i] == '%' || p[i] == '_' {
+			return i
+		}
+	}
+	return -1
+}
+
+// likeMatch is a standard greedy-with-backtracking wildcard matcher.
+func likeMatch(s, p string) bool {
+	var si, pi, starP, starS = 0, 0, -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			starP, starS = pi, si
+			pi++
+		case starP >= 0:
+			starS++
+			si, pi = starS, starP+1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// pushdown moves filter conjuncts as close to the data as possible,
+// converts qualified cross joins into inner joins, merges adjacent
+// selects, simplifies outer joins under null-rejecting predicates, and
+// pulls single-side conjuncts out of join conditions. It iterates to a
+// fixpoint.
+func pushdown(t *algebra.Tree) *algebra.Tree {
+	for i := 0; i < 10; i++ {
+		next, changed := pushdownOnce(t)
+		t = next
+		if !changed {
+			break
+		}
+	}
+	return t
+}
+
+func pushdownOnce(t *algebra.Tree) (*algebra.Tree, bool) {
+	changed := false
+	children := make([]*algebra.Tree, len(t.Children))
+	for i, c := range t.Children {
+		nc, ch := pushdownOnce(c)
+		children[i] = nc
+		changed = changed || ch
+	}
+	t = algebra.NewTree(t.Op, children...)
+
+	switch op := t.Op.(type) {
+	case *algebra.Select:
+		// Merge Select(Select(x)).
+		if innerSel, ok := t.Children[0].Op.(*algebra.Select); ok {
+			merged := algebra.AndAll([]algebra.Scalar{op.Filter, innerSel.Filter})
+			return algebra.NewTree(&algebra.Select{Filter: merged}, t.Children[0].Children[0]), true
+		}
+		var kept []algebra.Scalar
+		node := t.Children[0]
+		for _, conj := range algebra.Conjuncts(op.Filter) {
+			placed, ok := placeConjunct(node, conj)
+			if ok {
+				node = placed
+				changed = true
+			} else {
+				kept = append(kept, conj)
+			}
+		}
+		if len(kept) == 0 {
+			return node, true
+		}
+		return algebra.NewTree(&algebra.Select{Filter: algebra.AndAll(kept)}, node), changed
+
+	case *algebra.Join:
+		if op.On == nil {
+			return t, changed
+		}
+		left, right := t.Children[0], t.Children[1]
+		var keep []algebra.Scalar
+		for _, conj := range algebra.Conjuncts(op.On) {
+			cols := algebra.ScalarCols(conj)
+			switch op.Kind {
+			case algebra.JoinInner, algebra.JoinCross:
+				if cols.SubsetOf(left.OutputColSet()) && len(cols) > 0 {
+					left = algebra.NewTree(&algebra.Select{Filter: conj}, left)
+					changed = true
+					continue
+				}
+				if cols.SubsetOf(right.OutputColSet()) && len(cols) > 0 {
+					right = algebra.NewTree(&algebra.Select{Filter: conj}, right)
+					changed = true
+					continue
+				}
+			case algebra.JoinLeftOuter:
+				// Only right-side-only conjuncts push into the right input.
+				if cols.SubsetOf(right.OutputColSet()) && len(cols) > 0 {
+					right = algebra.NewTree(&algebra.Select{Filter: conj}, right)
+					changed = true
+					continue
+				}
+			case algebra.JoinSemi, algebra.JoinAnti:
+				if cols.SubsetOf(right.OutputColSet()) && len(cols) > 0 {
+					right = algebra.NewTree(&algebra.Select{Filter: conj}, right)
+					changed = true
+					continue
+				}
+			}
+			keep = append(keep, conj)
+		}
+		kind := op.Kind
+		if kind == algebra.JoinCross && len(keep) > 0 {
+			kind = algebra.JoinInner
+			changed = true
+		}
+		if !changed {
+			return t, false
+		}
+		return algebra.NewTree(&algebra.Join{Kind: kind, On: algebra.AndAll(keep)}, left, right), true
+	}
+	return t, changed
+}
+
+// placeConjunct attempts to push one conjunct into node, returning the
+// rewritten node. It descends through projects (inlining definitions),
+// joins, group-bys (key-only conjuncts), sorts without TOP, and unions.
+func placeConjunct(node *algebra.Tree, conj algebra.Scalar) (*algebra.Tree, bool) {
+	cols := algebra.ScalarCols(conj)
+	switch op := node.Op.(type) {
+	case *algebra.Select:
+		// Append to the child select (it will merge on the next pass).
+		return algebra.NewTree(&algebra.Select{Filter: algebra.AndAll([]algebra.Scalar{op.Filter, conj})}, node.Children[0]), true
+
+	case *algebra.Project:
+		inlined, ok := inlineThroughProject(conj, op)
+		if !ok {
+			return node, false
+		}
+		child, pushed := placeConjunct(node.Children[0], inlined)
+		if !pushed {
+			child = algebra.NewTree(&algebra.Select{Filter: inlined}, node.Children[0])
+		}
+		return algebra.NewTree(op, child), true
+
+	case *algebra.Join:
+		left, right := node.Children[0], node.Children[1]
+		switch op.Kind {
+		case algebra.JoinInner, algebra.JoinCross:
+			if cols.SubsetOf(left.OutputColSet()) {
+				nl, pushed := placeConjunct(left, conj)
+				if !pushed {
+					nl = algebra.NewTree(&algebra.Select{Filter: conj}, left)
+				}
+				return algebra.NewTree(op, nl, right), true
+			}
+			if cols.SubsetOf(right.OutputColSet()) {
+				nr, pushed := placeConjunct(right, conj)
+				if !pushed {
+					nr = algebra.NewTree(&algebra.Select{Filter: conj}, right)
+				}
+				return algebra.NewTree(op, left, nr), true
+			}
+			// Spans both sides: fold into the join condition.
+			kind := op.Kind
+			if kind == algebra.JoinCross {
+				kind = algebra.JoinInner
+			}
+			on := algebra.AndAll([]algebra.Scalar{op.On, conj})
+			return algebra.NewTree(&algebra.Join{Kind: kind, On: on}, left, right), true
+
+		case algebra.JoinLeftOuter:
+			if cols.SubsetOf(left.OutputColSet()) {
+				nl, pushed := placeConjunct(left, conj)
+				if !pushed {
+					nl = algebra.NewTree(&algebra.Select{Filter: conj}, left)
+				}
+				return algebra.NewTree(op, nl, right), true
+			}
+			// A null-rejecting predicate over right-side columns converts
+			// the outer join to inner (paper §5: outer-join reordering
+			// enablement), after which it can be pushed normally.
+			if cols.Intersects(right.OutputColSet()) && isNullRejectingOn(conj, right.OutputColSet()) {
+				inner := algebra.NewTree(&algebra.Join{Kind: algebra.JoinInner, On: op.On}, left, right)
+				return placeConjunct(inner, conj)
+			}
+			return node, false
+
+		case algebra.JoinSemi, algebra.JoinAnti:
+			if cols.SubsetOf(left.OutputColSet()) {
+				nl, pushed := placeConjunct(left, conj)
+				if !pushed {
+					nl = algebra.NewTree(&algebra.Select{Filter: conj}, left)
+				}
+				return algebra.NewTree(op, nl, right), true
+			}
+			return node, false
+		}
+		return node, false
+
+	case *algebra.GroupBy:
+		if op.Phase != algebra.AggComplete {
+			return node, false
+		}
+		if cols.SubsetOf(algebra.NewColSet(op.Keys...)) && len(cols) > 0 {
+			child, pushed := placeConjunct(node.Children[0], conj)
+			if !pushed {
+				child = algebra.NewTree(&algebra.Select{Filter: conj}, node.Children[0])
+			}
+			return algebra.NewTree(op, child), true
+		}
+		return node, false
+
+	case *algebra.Sort:
+		if op.Top > 0 {
+			return node, false
+		}
+		child, pushed := placeConjunct(node.Children[0], conj)
+		if !pushed {
+			child = algebra.NewTree(&algebra.Select{Filter: conj}, node.Children[0])
+		}
+		return algebra.NewTree(op, child), true
+
+	case *algebra.UnionAll:
+		l, lp := placeConjunct(node.Children[0], conj)
+		if !lp {
+			l = algebra.NewTree(&algebra.Select{Filter: conj}, node.Children[0])
+		}
+		r, rp := placeConjunct(node.Children[1], conj)
+		if !rp {
+			r = algebra.NewTree(&algebra.Select{Filter: conj}, node.Children[1])
+		}
+		return algebra.NewTree(op, l, r), true
+	}
+	return node, false
+}
+
+// inlineThroughProject rewrites a conjunct's column references by inlining
+// the project's definitions, so the predicate can evaluate below it.
+func inlineThroughProject(conj algebra.Scalar, p *algebra.Project) (algebra.Scalar, bool) {
+	defs := make(map[algebra.ColumnID]algebra.Scalar, len(p.Defs))
+	for _, d := range p.Defs {
+		defs[d.ID] = d.Expr
+	}
+	ok := true
+	out := algebra.RewriteScalar(conj, func(e algebra.Scalar) algebra.Scalar {
+		if c, okc := e.(*algebra.ColRef); okc {
+			rep, found := defs[c.ID]
+			if !found {
+				ok = false
+				return nil
+			}
+			return rep
+		}
+		return nil
+	})
+	return out, ok
+}
+
+// isNullRejectingOn reports whether the predicate cannot be true when the
+// columns of `side` it references are all NULL — the condition for
+// outer→inner join conversion. Comparisons, LIKE and positive IN reject
+// NULLs of any column they reference; AND rejects if either conjunct does;
+// OR only if both disjuncts do.
+func isNullRejectingOn(e algebra.Scalar, side algebra.ColSet) bool {
+	touches := func(s algebra.Scalar) bool { return algebra.ScalarCols(s).Intersects(side) }
+	switch x := e.(type) {
+	case *algebra.Binary:
+		if x.Op.IsComparison() {
+			return touches(x)
+		}
+		if x.Op == sqlparser.OpAnd {
+			return isNullRejectingOn(x.L, side) || isNullRejectingOn(x.R, side)
+		}
+		if x.Op == sqlparser.OpOr {
+			return isNullRejectingOn(x.L, side) && isNullRejectingOn(x.R, side)
+		}
+		return false
+	case *algebra.Like:
+		return touches(x)
+	case *algebra.InList:
+		return !x.Negated && touches(x)
+	case *algebra.IsNull:
+		return x.Negated && touches(x.E) && !hasNonColRef(x.E)
+	default:
+		return false
+	}
+}
+
+// hasNonColRef reports whether the expression is more than a bare column,
+// in which case IS NOT NULL reasoning is not sound (e.g. COALESCE-like
+// rewrites could mask NULL inputs).
+func hasNonColRef(e algebra.Scalar) bool {
+	_, ok := e.(*algebra.ColRef)
+	return !ok
+}

@@ -1,0 +1,333 @@
+package normalize
+
+import (
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/catalog"
+)
+
+// SeedCollocated rewrites each inner-join region of the normalized tree so
+// that distribution-compatible factors join first — the paper's §3.1
+// seeding: "For PDW optimization, we seed the MEMO with execution plans
+// that consider distribution information of tables, for collocated
+// operations." When the optimizer's exploration budget (timeout) is tight,
+// the initial plan dominates the explored neighborhood, so a
+// collocation-aware initial join order preserves plan quality that a
+// syntax-ordered initial plan loses (experiment E10).
+func SeedCollocated(t *algebra.Tree) *algebra.Tree {
+	// Seed only at MAXIMAL join regions: rebuilding an inner sub-region
+	// first would cap it with a projection that fragments the enclosing
+	// region and blocks the memo's join reordering across it. Factors
+	// (non-region subtrees) are seeded recursively.
+	if isRegionRoot(t) {
+		factors, conjs := disassembleRegion(t)
+		if len(factors) >= 3 {
+			for i := range factors {
+				factors[i] = seedChildren(factors[i])
+			}
+			// Re-running pushdown restores single-table filters to their
+			// scans and splits join conditions, so the seeded initial plan
+			// is as normalized as the original — only the join order
+			// differs.
+			return pushdown(reassembleRegion(factors, conjs, t.OutputCols()))
+		}
+	}
+	return seedChildren(t)
+}
+
+// seedChildren recurses into a non-region node's children.
+func seedChildren(t *algebra.Tree) *algebra.Tree {
+	if len(t.Children) == 0 {
+		return t
+	}
+	children := make([]*algebra.Tree, len(t.Children))
+	for i, c := range t.Children {
+		children[i] = SeedCollocated(c)
+	}
+	return algebra.NewTree(t.Op, children...)
+}
+
+// disassembleRegion splits a contiguous inner-join/select region into its
+// leaf factors (already seeded recursively) and the pooled conjuncts.
+func disassembleRegion(t *algebra.Tree) ([]*algebra.Tree, []algebra.Scalar) {
+	var factors []*algebra.Tree
+	var conjs []algebra.Scalar
+	var walk func(n *algebra.Tree)
+	walk = func(n *algebra.Tree) {
+		switch op := n.Op.(type) {
+		case *algebra.Select:
+			conjs = append(conjs, algebra.Conjuncts(op.Filter)...)
+			walk(n.Children[0])
+			return
+		case *algebra.Join:
+			if op.Kind == algebra.JoinInner || op.Kind == algebra.JoinCross {
+				conjs = append(conjs, algebra.Conjuncts(op.On)...)
+				walk(n.Children[0])
+				walk(n.Children[1])
+				return
+			}
+		}
+		factors = append(factors, n)
+	}
+	walk(t)
+	return factors, conjs
+}
+
+// factorDist approximates the natural placement of a factor: the hash
+// columns it is (or stays) distributed on, or replicated.
+type factorDist struct {
+	replicated bool
+	cols       algebra.ColSet
+}
+
+func distOf(t *algebra.Tree) factorDist {
+	switch op := t.Op.(type) {
+	case *algebra.Get:
+		if op.Table.Dist.Kind == catalog.DistReplicated {
+			return factorDist{replicated: true}
+		}
+		cols := algebra.NewColSet()
+		for _, c := range op.Cols {
+			if equalFoldSeed(c.Name, op.Table.Dist.Column) {
+				cols.Add(c.ID)
+			}
+		}
+		return factorDist{cols: cols}
+	case *algebra.Select, *algebra.Sort:
+		return distOf(t.Children[0])
+	case *algebra.Project:
+		in := distOf(t.Children[0])
+		if in.replicated {
+			return in
+		}
+		out := algebra.NewColSet()
+		for _, d := range op.Defs {
+			if c, ok := d.Expr.(*algebra.ColRef); ok && in.cols.Has(c.ID) {
+				out.Add(d.ID)
+			}
+		}
+		return factorDist{cols: out}
+	case *algebra.GroupBy:
+		in := distOf(t.Children[0])
+		if in.replicated {
+			return in
+		}
+		keys := algebra.NewColSet(op.Keys...)
+		out := algebra.NewColSet()
+		for id := range in.cols {
+			if keys.Has(id) {
+				out.Add(id)
+			}
+		}
+		return factorDist{cols: out}
+	case *algebra.Values:
+		return factorDist{replicated: true}
+	default:
+		return factorDist{cols: algebra.NewColSet()}
+	}
+}
+
+// sizeOf estimates a factor's cardinality from shell statistics (filters
+// ignored — the seed only needs relative magnitudes).
+func sizeOf(t *algebra.Tree) float64 {
+	switch op := t.Op.(type) {
+	case *algebra.Get:
+		if r := op.Table.RowCount(); r > 0 {
+			return r
+		}
+		return 1000
+	case *algebra.Values:
+		return float64(len(op.Rows)) + 1
+	}
+	if len(t.Children) > 0 {
+		m := 0.0
+		for _, c := range t.Children {
+			if s := sizeOf(c); s > m {
+				m = s
+			}
+		}
+		return m
+	}
+	return 1000
+}
+
+// collocatedOn reports whether an equality conjunct links the two hash
+// column classes.
+func collocatedOn(a, b factorDist, conjs []algebra.Scalar) bool {
+	for _, conj := range conjs {
+		l, r, ok := algebra.EquiJoinSides(conj)
+		if !ok {
+			continue
+		}
+		if (a.cols.Has(l) && b.cols.Has(r)) || (a.cols.Has(r) && b.cols.Has(l)) {
+			return true
+		}
+	}
+	return false
+}
+
+// moveEstimate approximates the rows that must move to join two
+// placements: zero for collocated or replicated pairs, otherwise the
+// smaller side (it would be shuffled or broadcast).
+func moveEstimate(a, b factorDist, aSize, bSize float64, conjs []algebra.Scalar) float64 {
+	if a.replicated || b.replicated {
+		return 0
+	}
+	if collocatedOn(a, b, conjs) {
+		return 0
+	}
+	if aSize < bSize {
+		return aSize
+	}
+	return bSize
+}
+
+// reassembleRegion greedily rebuilds the join tree preferring collocated
+// (then replicated) additions, placing each conjunct at the first join
+// where its columns are available.
+func reassembleRegion(factors []*algebra.Tree, conjs []algebra.Scalar, want []algebra.ColumnMeta) *algebra.Tree {
+	type item struct {
+		tree *algebra.Tree
+		dist factorDist
+		cols algebra.ColSet
+		size float64
+	}
+	pending := append([]algebra.Scalar{}, conjs...)
+	items := make([]*item, len(factors))
+	for i, f := range factors {
+		items[i] = &item{tree: f, dist: distOf(f), cols: f.OutputColSet(), size: sizeOf(f)}
+	}
+
+	// takeConds removes and returns every pending conjunct fully covered
+	// by the column set.
+	takeConds := func(cols algebra.ColSet) []algebra.Scalar {
+		var out []algebra.Scalar
+		var rest []algebra.Scalar
+		for _, c := range pending {
+			if algebra.ScalarCols(c).SubsetOf(cols) {
+				out = append(out, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		pending = rest
+		return out
+	}
+
+	// Single-factor predicates go straight back onto their factors so the
+	// initial plan keeps filters adjacent to scans.
+	for _, it := range items {
+		if conds := takeConds(it.cols); len(conds) > 0 {
+			it.tree = algebra.NewTree(&algebra.Select{Filter: algebra.AndAll(conds)}, it.tree)
+		}
+	}
+
+	// Seed with the pair minimizing movement; on ties lock in the largest
+	// collocation first (protecting the biggest tables from moving).
+	bi, bj := 0, 1
+	bestMove, bestSize := -1.0, 0.0
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			mv := moveEstimate(items[i].dist, items[j].dist, items[i].size, items[j].size, pending)
+			sz := items[i].size + items[j].size
+			if bestMove < 0 || mv < bestMove || (mv == bestMove && sz > bestSize) {
+				bi, bj, bestMove, bestSize = i, j, mv, sz
+			}
+		}
+	}
+	join := func(a, b *item) *item {
+		cols := algebra.NewColSet()
+		cols.AddSet(a.cols)
+		cols.AddSet(b.cols)
+		conds := takeConds(cols)
+		kind := algebra.JoinInner
+		if len(conds) == 0 {
+			kind = algebra.JoinCross
+		}
+		tree := algebra.NewTree(&algebra.Join{Kind: kind, On: algebra.AndAll(conds)}, a.tree, b.tree)
+		// Composite placement.
+		var d factorDist
+		switch {
+		case a.dist.replicated && b.dist.replicated:
+			d = factorDist{replicated: true}
+		case a.dist.replicated:
+			d = b.dist
+		case b.dist.replicated:
+			d = a.dist
+		default:
+			merged := algebra.NewColSet()
+			merged.AddSet(a.dist.cols)
+			merged.AddSet(b.dist.cols)
+			d = factorDist{cols: merged}
+		}
+		size := a.size
+		if b.size > size {
+			size = b.size
+		}
+		return &item{tree: tree, dist: d, cols: cols, size: size}
+	}
+
+	cur := join(items[bi], items[bj])
+	var rest []*item
+	for i, it := range items {
+		if i != bi && i != bj {
+			rest = append(rest, it)
+		}
+	}
+	for len(rest) > 0 {
+		best := 0
+		bestMove, bestSize = -1, 0
+		for i, it := range rest {
+			mv := moveEstimate(cur.dist, it.dist, cur.size, it.size, pending)
+			if bestMove < 0 || mv < bestMove || (mv == bestMove && it.size > bestSize) {
+				best, bestMove, bestSize = i, mv, it.size
+			}
+		}
+		cur = join(cur, rest[best])
+		rest = append(rest[:best], rest[best+1:]...)
+	}
+	out := cur.tree
+	if len(pending) > 0 {
+		out = algebra.NewTree(&algebra.Select{Filter: algebra.AndAll(pending)}, out)
+	}
+	// The region rebuild preserves the output column set but may reorder
+	// it; parents reference columns by ID, and the region root's parent in
+	// the original tree was built against `want` — restore that order with
+	// a projection when it differs.
+	got := out.OutputCols()
+	same := len(got) == len(want)
+	if same {
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		defs := make([]algebra.ProjDef, len(want))
+		for i, c := range want {
+			defs[i] = algebra.ProjDef{Expr: algebra.NewColRef(c), ID: c.ID, Name: c.Name}
+		}
+		out = algebra.NewTree(&algebra.Project{Defs: defs}, out)
+	}
+	return out
+}
+
+func equalFoldSeed(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

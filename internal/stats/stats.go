@@ -1,0 +1,335 @@
+// Package stats implements the statistics subsystem behind the PDW "shell
+// database" (paper §2.2): per-column equi-depth histograms with NDV and
+// null counts, computed locally on each compute node and merged into global
+// statistics on the control node, plus the cardinality-estimation primitives
+// the serial optimizer uses to annotate MEMO groups.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pdwqo/internal/types"
+)
+
+// DefaultBuckets is the histogram resolution used when building statistics.
+const DefaultBuckets = 32
+
+// Bucket is one equi-depth histogram step. UpperBound is inclusive; a
+// bucket covers (previous bucket's UpperBound, UpperBound].
+type Bucket struct {
+	UpperBound types.Value
+	RowCount   float64 // non-null rows in the bucket
+	NDV        float64 // distinct values in the bucket
+}
+
+// Column holds the statistics for a single column.
+type Column struct {
+	RowCount  float64 // total rows in the table (incl. nulls in this column)
+	NullCount float64
+	NDV       float64
+	Min, Max  types.Value
+	AvgWidth  float64
+	Buckets   []Bucket
+}
+
+// Table holds statistics for a table: total cardinality plus per-column
+// detail. AvgRowWidth feeds the cost model's w parameter.
+type Table struct {
+	RowCount    float64
+	AvgRowWidth float64
+	Columns     map[string]*Column
+}
+
+// NewTable returns an empty statistics object.
+func NewTable() *Table {
+	return &Table{Columns: make(map[string]*Column)}
+}
+
+// Column returns stats for the named (lower-cased) column, or nil.
+func (t *Table) Column(name string) *Column {
+	if t == nil {
+		return nil
+	}
+	return t.Columns[strings.ToLower(name)]
+}
+
+// BuildColumn computes full statistics for one column's values.
+func BuildColumn(values []types.Value) *Column {
+	c := &Column{RowCount: float64(len(values))}
+	nonNull := make([]types.Value, 0, len(values))
+	width := 0.0
+	for _, v := range values {
+		if v.IsNull() {
+			c.NullCount++
+			continue
+		}
+		width += float64(v.Width())
+		nonNull = append(nonNull, v)
+	}
+	if len(nonNull) == 0 {
+		return c
+	}
+	c.AvgWidth = width / float64(len(nonNull))
+	sort.Slice(nonNull, func(i, j int) bool { return types.Compare(nonNull[i], nonNull[j]) < 0 })
+	c.Min, c.Max = nonNull[0], nonNull[len(nonNull)-1]
+
+	// Equi-depth buckets over the sorted values; bucket boundaries never
+	// split runs of equal values, so per-bucket NDV is exact.
+	target := len(nonNull) / DefaultBuckets
+	if target < 1 {
+		target = 1
+	}
+	var cur Bucket
+	flush := func() {
+		if cur.RowCount > 0 {
+			c.Buckets = append(c.Buckets, cur)
+			cur = Bucket{}
+		}
+	}
+	i := 0
+	for i < len(nonNull) {
+		// Extend over the full run of equal values.
+		j := i + 1
+		for j < len(nonNull) && types.Compare(nonNull[j], nonNull[i]) == 0 {
+			j++
+		}
+		cur.RowCount += float64(j - i)
+		cur.NDV++
+		cur.UpperBound = nonNull[i]
+		c.NDV++
+		if int(cur.RowCount) >= target && len(c.Buckets) < DefaultBuckets-1 {
+			flush()
+		}
+		i = j
+	}
+	flush()
+	return c
+}
+
+// BuildTable computes statistics for a table given column-major values.
+// columns maps column name to the full value vector; all vectors must have
+// equal length.
+func BuildTable(columns map[string][]types.Value) (*Table, error) {
+	t := NewTable()
+	n := -1
+	for name, vals := range columns {
+		if n >= 0 && len(vals) != n {
+			return nil, fmt.Errorf("stats: column %q has %d rows, want %d", name, len(vals), n)
+		}
+		n = len(vals)
+		t.Columns[strings.ToLower(name)] = BuildColumn(vals)
+	}
+	if n < 0 {
+		n = 0
+	}
+	t.RowCount = float64(n)
+	for _, c := range t.Columns {
+		frac := 1.0
+		if t.RowCount > 0 {
+			frac = (c.RowCount - c.NullCount) / t.RowCount
+		}
+		t.AvgRowWidth += c.AvgWidth * frac
+	}
+	return t, nil
+}
+
+// MergeTables merges per-node local statistics into global statistics, the
+// paper's §2.2 local→global derivation. hashColumn names the column the
+// table is hash-partitioned on ("" for replicated/unknown): distinct values
+// of the partitioning column never repeat across nodes, so its NDV adds
+// exactly; other columns use a containment-capped union estimate.
+func MergeTables(locals []*Table, hashColumn string) *Table {
+	g := NewTable()
+	if len(locals) == 0 {
+		return g
+	}
+	hashColumn = strings.ToLower(hashColumn)
+	for _, l := range locals {
+		g.RowCount += l.RowCount
+	}
+	names := map[string]bool{}
+	for _, l := range locals {
+		for n := range l.Columns {
+			names[n] = true
+		}
+	}
+	for name := range names {
+		cols := make([]*Column, 0, len(locals))
+		for _, l := range locals {
+			if c, ok := l.Columns[name]; ok {
+				cols = append(cols, c)
+			}
+		}
+		g.Columns[name] = mergeColumns(cols, name == hashColumn)
+	}
+	for _, c := range g.Columns {
+		frac := 1.0
+		if g.RowCount > 0 {
+			frac = (c.RowCount - c.NullCount) / g.RowCount
+		}
+		g.AvgRowWidth += c.AvgWidth * frac
+	}
+	return g
+}
+
+// mergeColumns merges local column histograms into one global histogram by
+// pooling bucket boundaries and re-bucketing counts.
+func mergeColumns(cols []*Column, disjointNDV bool) *Column {
+	g := &Column{}
+	widthWeight := 0.0
+	for _, c := range cols {
+		g.RowCount += c.RowCount
+		g.NullCount += c.NullCount
+		nn := c.RowCount - c.NullCount
+		g.AvgWidth += c.AvgWidth * nn
+		widthWeight += nn
+		if c.Min.IsNull() {
+			continue
+		}
+		if g.Min.IsNull() || types.Compare(c.Min, g.Min) < 0 {
+			g.Min = c.Min
+		}
+		if g.Max.IsNull() || types.Compare(c.Max, g.Max) > 0 {
+			g.Max = c.Max
+		}
+	}
+	if widthWeight > 0 {
+		g.AvgWidth /= widthWeight
+	}
+
+	// NDV merge.
+	sumNDV, maxNDV := 0.0, 0.0
+	localN, localD, nLocals := 0.0, 0.0, 0.0
+	for _, c := range cols {
+		sumNDV += c.NDV
+		maxNDV = math.Max(maxNDV, c.NDV)
+		if nn := c.RowCount - c.NullCount; nn > 0 {
+			localN += nn
+			localD += c.NDV
+			nLocals++
+		}
+	}
+	if disjointNDV {
+		g.NDV = sumNDV
+	} else if nLocals > 0 {
+		// Under the uniformity assumption (paper §3.3.1), each node's rows
+		// are a uniform sample of the global domain: invert the Cardenas
+		// formula E[distinct] = D·(1-(1-1/D)^n) to recover the global NDV
+		// from the average local observation.
+		g.NDV = invertExpectedDistinct(localD/nLocals, localN/nLocals, maxNDV, sumNDV)
+		g.NDV = math.Min(g.NDV, g.RowCount-g.NullCount)
+	}
+
+	// Histogram merge: collect all boundaries, then apportion each local
+	// bucket's rows across the merged steps by linear interpolation.
+	var bounds []types.Value
+	for _, c := range cols {
+		for _, b := range c.Buckets {
+			bounds = append(bounds, b.UpperBound)
+		}
+	}
+	if len(bounds) == 0 {
+		return g
+	}
+	sort.Slice(bounds, func(i, j int) bool { return types.Compare(bounds[i], bounds[j]) < 0 })
+	dedup := bounds[:1]
+	for _, b := range bounds[1:] {
+		if types.Compare(b, dedup[len(dedup)-1]) != 0 {
+			dedup = append(dedup, b)
+		}
+	}
+	// Thin to at most DefaultBuckets boundaries, always keeping the last.
+	step := float64(len(dedup)) / float64(DefaultBuckets)
+	if step < 1 {
+		step = 1
+	}
+	var merged []Bucket
+	for f := step; ; f += step {
+		i := int(f) - 1
+		if i >= len(dedup)-1 {
+			break
+		}
+		merged = append(merged, Bucket{UpperBound: dedup[i]})
+	}
+	merged = append(merged, Bucket{UpperBound: dedup[len(dedup)-1]})
+
+	ndvScale := 1.0
+	if sumNDV > 0 {
+		ndvScale = g.NDV / sumNDV
+	}
+	for _, c := range cols {
+		lo := c.Min
+		for _, b := range c.Buckets {
+			spreadBucket(merged, lo, b, ndvScale)
+			lo = b.UpperBound
+		}
+	}
+	g.Buckets = merged
+	return g
+}
+
+// spreadBucket apportions a local bucket (covering (lo, b.UpperBound]) into
+// the merged steps it overlaps, splitting rows evenly across those steps.
+func spreadBucket(merged []Bucket, lo types.Value, b Bucket, ndvScale float64) {
+	var targets []int
+	prev := types.Null
+	for i := range merged {
+		ub := merged[i].UpperBound
+		// Overlap test between (lo, b.UpperBound] and (prev, ub].
+		if types.Compare(ub, lo) > 0 && (prev.IsNull() || types.Compare(prev, b.UpperBound) < 0) {
+			targets = append(targets, i)
+		}
+		if types.Compare(ub, b.UpperBound) >= 0 {
+			break
+		}
+		prev = ub
+	}
+	if len(targets) == 0 {
+		targets = append(targets, len(merged)-1)
+	}
+	share := b.RowCount / float64(len(targets))
+	dshare := b.NDV * ndvScale / float64(len(targets))
+	for _, i := range targets {
+		merged[i].RowCount += share
+		merged[i].NDV += dshare
+	}
+}
+
+// ExpectedDistinct is the Cardenas approximation: the expected number of
+// distinct values observed when drawing n rows uniformly from a domain of
+// d values.
+func ExpectedDistinct(d, n float64) float64 {
+	if d <= 0 || n <= 0 {
+		return 0
+	}
+	return d * (1 - math.Pow(1-1/d, n))
+}
+
+// invertExpectedDistinct solves ExpectedDistinct(D, n) = observed for D by
+// binary search over [lo, hi]. When the observation saturates (every local
+// row distinct), the upper bound is returned.
+func invertExpectedDistinct(observed, n, lo, hi float64) float64 {
+	if hi <= lo {
+		return math.Max(lo, observed)
+	}
+	if observed >= n*0.999 {
+		// Local values were (nearly) all distinct: no overlap information;
+		// assume the locals are disjoint.
+		return hi
+	}
+	if ExpectedDistinct(lo, n) >= observed {
+		return lo
+	}
+	for i := 0; i < 64 && hi-lo > 0.5; i++ {
+		mid := (lo + hi) / 2
+		if ExpectedDistinct(mid, n) < observed {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,103 @@
+// Package storage implements the per-node row store backing each simulated
+// SQL Server instance: base tables loaded at appliance construction and
+// temp tables materialized by DMS operations (paper §2.3). Bulk inserts are
+// metered in bytes so the cost model can be calibrated against observed
+// writer/bulk-copy work.
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"pdwqo/internal/catalog"
+	"pdwqo/internal/types"
+)
+
+// Table is one stored table's rows plus schema.
+type Table struct {
+	Name string
+	Cols []catalog.Column
+	Rows []types.Row
+}
+
+// DB is a node-local database instance.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	// BytesWritten meters bulk-insert volume for cost calibration.
+	BytesWritten int64
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: map[string]*Table{}}
+}
+
+// Create registers a table; creating an existing name fails.
+func (db *DB) Create(name string, cols []catalog.Column) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; ok {
+		return fmt.Errorf("storage: table %q already exists", name)
+	}
+	db.tables[key] = &Table{Name: name, Cols: cols}
+	return nil
+}
+
+// Drop removes a table if present.
+func (db *DB) Drop(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.tables, strings.ToLower(name))
+}
+
+// BulkInsert appends rows, metering bytes (the SQLBlkCpy component of the
+// paper's Figure 5).
+func (db *DB) BulkInsert(name string, rows []types.Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("storage: unknown table %q", name)
+	}
+	for _, r := range rows {
+		if len(r) != len(t.Cols) {
+			return fmt.Errorf("storage: %q: row arity %d, want %d", name, len(r), len(t.Cols))
+		}
+		db.BytesWritten += int64(r.Width())
+	}
+	t.Rows = append(t.Rows, rows...)
+	return nil
+}
+
+// Scan returns a table's rows (shared slice; callers must not mutate).
+func (db *DB) Scan(name string) ([]types.Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	return t.Rows, nil
+}
+
+// Table returns the stored table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+// Names lists stored table names (unordered).
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"pdwqo/internal/catalog"
+	"pdwqo/internal/types"
+)
+
+func cols() []catalog.Column {
+	return []catalog.Column{
+		{Name: "a", Type: types.KindInt},
+		{Name: "b", Type: types.KindString},
+	}
+}
+
+func TestCreateInsertScan(t *testing.T) {
+	db := NewDB()
+	if err := db.Create("t", cols()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Create("t", cols()); err == nil {
+		t.Error("duplicate create must fail")
+	}
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString("x")},
+		{types.NewInt(2), types.NewString("yy")},
+	}
+	if err := db.BulkInsert("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Scan("T") // case-insensitive
+	if err != nil || len(got) != 2 {
+		t.Fatalf("scan: %v %v", got, err)
+	}
+	if db.BytesWritten != int64(rows[0].Width()+rows[1].Width()) {
+		t.Errorf("bytes metered: %d", db.BytesWritten)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := NewDB()
+	if err := db.BulkInsert("missing", nil); err == nil {
+		t.Error("unknown table")
+	}
+	if err := db.Create("t", cols()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BulkInsert("t", []types.Row{{types.NewInt(1)}}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestDrop(t *testing.T) {
+	db := NewDB()
+	if err := db.Create("t", cols()); err != nil {
+		t.Fatal(err)
+	}
+	db.Drop("T")
+	if _, err := db.Scan("t"); err == nil {
+		t.Error("dropped table must be gone")
+	}
+	db.Drop("never-existed") // no-op
+}
+
+func TestNames(t *testing.T) {
+	db := NewDB()
+	for _, n := range []string{"x", "y"} {
+		if err := db.Create(n, cols()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(db.Names()) != 2 {
+		t.Error("names")
+	}
+}
+
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	db := NewDB()
+	if err := db.Create("t", cols()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_ = db.BulkInsert("t", []types.Row{{types.NewInt(1), types.NewString("v")}})
+		}()
+		go func() {
+			defer wg.Done()
+			_, _ = db.Scan("t")
+		}()
+	}
+	wg.Wait()
+	rows, _ := db.Scan("t")
+	if len(rows) != 8 {
+		t.Errorf("rows after concurrent writes: %d", len(rows))
+	}
+}

@@ -1,0 +1,122 @@
+// Package tpch provides the TPC-H substrate used throughout the
+// reproduction: the schema with the paper's table placement (customer
+// hash-partitioned on c_custkey, orders on o_orderkey, lineitem on
+// l_orderkey, supplier/nation/region replicated — matching the
+// [supplier_repl] table visible in the paper's Figure 7 SQL), a
+// deterministic dbgen-like data generator, per-node statistics building
+// with local→global merge (paper §2.2), and the adapted query suite.
+package tpch
+
+import (
+	"pdwqo/internal/catalog"
+	"pdwqo/internal/types"
+)
+
+// Tables returns the TPC-H shell tables with the paper's placement. The
+// returned tables carry no statistics; see BuildShell.
+func Tables() []*catalog.Table {
+	return []*catalog.Table{
+		{
+			Name: "region",
+			Columns: []catalog.Column{
+				{Name: "r_regionkey", Type: types.KindInt},
+				{Name: "r_name", Type: types.KindString},
+			},
+			PrimaryKey: []string{"r_regionkey"},
+			Dist:       catalog.Distribution{Kind: catalog.DistReplicated},
+		},
+		{
+			Name: "nation",
+			Columns: []catalog.Column{
+				{Name: "n_nationkey", Type: types.KindInt},
+				{Name: "n_name", Type: types.KindString},
+				{Name: "n_regionkey", Type: types.KindInt},
+			},
+			PrimaryKey: []string{"n_nationkey"},
+			Dist:       catalog.Distribution{Kind: catalog.DistReplicated},
+		},
+		{
+			Name: "supplier",
+			Columns: []catalog.Column{
+				{Name: "s_suppkey", Type: types.KindInt},
+				{Name: "s_name", Type: types.KindString},
+				{Name: "s_address", Type: types.KindString},
+				{Name: "s_nationkey", Type: types.KindInt},
+				{Name: "s_acctbal", Type: types.KindFloat},
+			},
+			PrimaryKey: []string{"s_suppkey"},
+			Dist:       catalog.Distribution{Kind: catalog.DistReplicated},
+		},
+		{
+			Name: "customer",
+			Columns: []catalog.Column{
+				{Name: "c_custkey", Type: types.KindInt},
+				{Name: "c_name", Type: types.KindString},
+				{Name: "c_nationkey", Type: types.KindInt},
+				{Name: "c_acctbal", Type: types.KindFloat},
+				{Name: "c_mktsegment", Type: types.KindString},
+			},
+			PrimaryKey: []string{"c_custkey"},
+			Dist:       catalog.Distribution{Kind: catalog.DistHash, Column: "c_custkey"},
+		},
+		{
+			Name: "orders",
+			Columns: []catalog.Column{
+				{Name: "o_orderkey", Type: types.KindInt},
+				{Name: "o_custkey", Type: types.KindInt},
+				{Name: "o_orderstatus", Type: types.KindString},
+				{Name: "o_totalprice", Type: types.KindFloat},
+				{Name: "o_orderdate", Type: types.KindDate},
+				{Name: "o_orderpriority", Type: types.KindString},
+			},
+			PrimaryKey: []string{"o_orderkey"},
+			Dist:       catalog.Distribution{Kind: catalog.DistHash, Column: "o_orderkey"},
+		},
+		{
+			Name: "lineitem",
+			Columns: []catalog.Column{
+				{Name: "l_orderkey", Type: types.KindInt},
+				{Name: "l_partkey", Type: types.KindInt},
+				{Name: "l_suppkey", Type: types.KindInt},
+				{Name: "l_linenumber", Type: types.KindInt},
+				{Name: "l_quantity", Type: types.KindFloat},
+				{Name: "l_extendedprice", Type: types.KindFloat},
+				{Name: "l_discount", Type: types.KindFloat},
+				{Name: "l_tax", Type: types.KindFloat},
+				{Name: "l_returnflag", Type: types.KindString},
+				{Name: "l_linestatus", Type: types.KindString},
+				{Name: "l_shipdate", Type: types.KindDate},
+				{Name: "l_commitdate", Type: types.KindDate},
+				{Name: "l_receiptdate", Type: types.KindDate},
+				{Name: "l_shipmode", Type: types.KindString},
+			},
+			PrimaryKey: []string{"l_orderkey", "l_linenumber"},
+			Dist:       catalog.Distribution{Kind: catalog.DistHash, Column: "l_orderkey"},
+		},
+		{
+			Name: "part",
+			Columns: []catalog.Column{
+				{Name: "p_partkey", Type: types.KindInt},
+				{Name: "p_name", Type: types.KindString},
+				{Name: "p_brand", Type: types.KindString},
+				{Name: "p_type", Type: types.KindString},
+				{Name: "p_size", Type: types.KindInt},
+				{Name: "p_container", Type: types.KindString},
+				{Name: "p_retailprice", Type: types.KindFloat},
+			},
+			PrimaryKey: []string{"p_partkey"},
+			Dist:       catalog.Distribution{Kind: catalog.DistHash, Column: "p_partkey"},
+		},
+		{
+			Name: "partsupp",
+			Columns: []catalog.Column{
+				{Name: "ps_partkey", Type: types.KindInt},
+				{Name: "ps_suppkey", Type: types.KindInt},
+				{Name: "ps_availqty", Type: types.KindInt},
+				{Name: "ps_supplycost", Type: types.KindFloat},
+			},
+			PrimaryKey: []string{"ps_partkey", "ps_suppkey"},
+			Dist:       catalog.Distribution{Kind: catalog.DistHash, Column: "ps_partkey"},
+		},
+	}
+}

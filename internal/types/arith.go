@@ -1,0 +1,182 @@
+package types
+
+import "fmt"
+
+// Arithmetic with SQL NULL propagation. These helpers are shared by the
+// runtime expression evaluator and by compile-time constant folding, so the
+// two layers cannot drift apart.
+
+func numericPair(a, b Value, op string) (Value, Value, bool, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, Null, false, nil
+	}
+	if !a.kind.Numeric() || !b.kind.Numeric() {
+		// Date arithmetic is handled by DATEADD; bare +/- on dates is not
+		// part of the supported surface.
+		return Null, Null, false, fmt.Errorf("types: %s on %s and %s", op, a.kind, b.kind)
+	}
+	return a, b, true, nil
+}
+
+// Add returns a+b, or NULL if either side is NULL.
+func Add(a, b Value) (Value, error) {
+	a, b, ok, err := numericPair(a, b, "+")
+	if !ok {
+		return Null, err
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		return NewInt(a.i + b.i), nil
+	}
+	return NewFloat(a.Float() + b.Float()), nil
+}
+
+// Sub returns a-b, or NULL if either side is NULL.
+func Sub(a, b Value) (Value, error) {
+	a, b, ok, err := numericPair(a, b, "-")
+	if !ok {
+		return Null, err
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		return NewInt(a.i - b.i), nil
+	}
+	return NewFloat(a.Float() - b.Float()), nil
+}
+
+// Mul returns a*b, or NULL if either side is NULL.
+func Mul(a, b Value) (Value, error) {
+	a, b, ok, err := numericPair(a, b, "*")
+	if !ok {
+		return Null, err
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		return NewInt(a.i * b.i), nil
+	}
+	return NewFloat(a.Float() * b.Float()), nil
+}
+
+// Div returns a/b following SQL semantics for our type model: integer
+// division yields FLOAT (we have no DECIMAL kind), and division by zero is
+// an error rather than NULL, matching SQL Server's default behaviour.
+func Div(a, b Value) (Value, error) {
+	a, b, ok, err := numericPair(a, b, "/")
+	if !ok {
+		return Null, err
+	}
+	if b.Float() == 0 {
+		return Null, fmt.Errorf("types: division by zero")
+	}
+	return NewFloat(a.Float() / b.Float()), nil
+}
+
+// Neg returns -a, or NULL for NULL.
+func Neg(a Value) (Value, error) {
+	if a.IsNull() {
+		return Null, nil
+	}
+	switch a.kind {
+	case KindInt:
+		return NewInt(-a.i), nil
+	case KindFloat:
+		return NewFloat(-a.f), nil
+	}
+	return Null, fmt.Errorf("types: negation of %s", a.kind)
+}
+
+// DateAdd implements DATEADD(part, n, date) for the parts the query surface
+// uses: year, month, day. Month/year arithmetic follows calendar rules via
+// day decomposition.
+func DateAdd(part string, n int64, d Value) (Value, error) {
+	if d.IsNull() {
+		return Null, nil
+	}
+	if d.kind != KindDate {
+		return Null, fmt.Errorf("types: DATEADD on %s", d.kind)
+	}
+	switch part {
+	case "day", "dd", "d":
+		return NewDate(d.i + n), nil
+	case "year", "yy", "yyyy":
+		y, m, day := civilFromDays(d.i)
+		return NewDate(daysFromCivil(y+int(n), m, day)), nil
+	case "month", "mm", "m":
+		y, m, day := civilFromDays(d.i)
+		mm := y*12 + (m - 1) + int(n)
+		return NewDate(daysFromCivil(mm/12, mm%12+1, day)), nil
+	}
+	return Null, fmt.Errorf("types: unsupported DATEADD part %q", part)
+}
+
+// DateYear returns the calendar year of a DATE value, for EXTRACT/YEAR().
+func DateYear(d Value) (Value, error) {
+	if d.IsNull() {
+		return Null, nil
+	}
+	if d.kind != KindDate {
+		return Null, fmt.Errorf("types: YEAR on %s", d.kind)
+	}
+	y, _, _ := civilFromDays(d.i)
+	return NewInt(int64(y)), nil
+}
+
+// civilFromDays converts days-since-epoch to (year, month, day) using
+// Howard Hinnant's civil-from-days algorithm.
+func civilFromDays(z int64) (int, int, int) {
+	z += 719468
+	era := z / 146097
+	if z < 0 && z%146097 != 0 {
+		era--
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	y := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	d := doy - (153*mp+2)/5 + 1
+	m := mp + 3
+	if mp >= 10 {
+		m = mp - 9
+	}
+	if m <= 2 {
+		y++
+	}
+	return int(y), int(m), int(d)
+}
+
+// daysFromCivil converts (year, month, day) to days-since-epoch, clamping
+// the day to the target month's length (SQL Server DATEADD behaviour).
+func daysFromCivil(y, m, d int) int64 {
+	if max := daysInMonth(y, m); d > max {
+		d = max
+	}
+	yy := int64(y)
+	if m <= 2 {
+		yy--
+	}
+	era := yy / 400
+	if yy < 0 && yy%400 != 0 {
+		era--
+	}
+	yoe := yy - era*400
+	var mp int64
+	if m > 2 {
+		mp = int64(m) - 3
+	} else {
+		mp = int64(m) + 9
+	}
+	doy := (153*mp+2)/5 + int64(d) - 1
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return era*146097 + doe - 719468
+}
+
+func daysInMonth(y, m int) int {
+	switch m {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	}
+	if y%4 == 0 && (y%100 != 0 || y%400 == 0) {
+		return 29
+	}
+	return 28
+}

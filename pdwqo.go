@@ -1,0 +1,333 @@
+// Package pdwqo is a reproduction of "Query Optimization in Microsoft SQL
+// Server PDW" (SIGMOD 2012): a cost-based distributed query optimizer for
+// a simulated shared-nothing appliance.
+//
+// The package wires together the paper's Figure 2 pipeline:
+//
+//	parse → bind against the shell database → normalize (subquery
+//	unnesting, pushdown, transitivity closure, contradiction detection)
+//	→ serial Cascades-style MEMO → XML export → PDW bottom-up optimizer
+//	(data-movement enumeration, interesting-property pruning, DMS cost
+//	model) → DSQL generation → serial step execution on the appliance.
+//
+// Open a database over a shell catalog and loaded rows, then Optimize,
+// Explain, or Execute SQL against it. See examples/ for runnable entry
+// points and EXPERIMENTS.md for the paper-reproduction harness.
+package pdwqo
+
+import (
+	"fmt"
+	"strings"
+
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/catalog"
+	"pdwqo/internal/core"
+	"pdwqo/internal/cost"
+	"pdwqo/internal/dsql"
+	"pdwqo/internal/engine"
+	"pdwqo/internal/exec"
+	"pdwqo/internal/memo"
+	"pdwqo/internal/memoxml"
+	"pdwqo/internal/normalize"
+	"pdwqo/internal/sqlparser"
+	"pdwqo/internal/tpch"
+	"pdwqo/internal/types"
+)
+
+// Re-exported building blocks, so downstream users need only this package.
+type (
+	// Shell is the metadata-only image of the appliance (paper §2.2).
+	Shell = catalog.Shell
+	// Value is one SQL value.
+	Value = types.Value
+	// Row is one result tuple.
+	Row = types.Row
+	// Lambda holds the DMS cost model's calibrated per-byte constants.
+	Lambda = cost.Lambda
+	// MoveKind enumerates the seven DMS operations of paper §3.3.2.
+	MoveKind = cost.MoveKind
+)
+
+// PlanOption is one node of the distributed plan tree (relational
+// operator or data movement); exposed for plan inspection.
+type PlanOption = core.Option
+
+// OptimizerMode selects the plan space (paper §1.2): the full PDW search
+// or the parallelized-best-serial-plan baseline.
+type OptimizerMode = core.Mode
+
+// Optimizer modes.
+const (
+	// ModeFull is the paper's PDW QO: the whole serial search space plus
+	// data movement enumeration.
+	ModeFull = core.ModeFull
+	// ModeSerialBaseline parallelizes only the best serial plan.
+	ModeSerialBaseline = core.ModeSerialBaseline
+)
+
+// Options tunes optimization; the zero value is the paper's configuration.
+type Options struct {
+	Mode OptimizerMode
+	// Budget caps serial exploration (optimizer timeout, §3.1); 0 means
+	// memo.DefaultBudget, negative means unlimited.
+	Budget int
+	// Lambda overrides the cost model constants; nil uses defaults.
+	Lambda *Lambda
+	// DisableInterestingRetention and DisableLocalGlobalAgg are ablations
+	// of Figure 4 step 06.ii and the §4 local/global split.
+	DisableInterestingRetention bool
+	DisableLocalGlobalAgg       bool
+	// SeedCollocated applies the §3.1 distribution-aware seeding: the
+	// initial plan inserted into the MEMO joins collocated factors first,
+	// which preserves plan quality under tight exploration budgets.
+	SeedCollocated bool
+}
+
+// DB is an open appliance: shell metadata plus loaded data.
+type DB struct {
+	shell     *catalog.Shell
+	appliance *engine.Appliance
+	data      map[string][]types.Row
+}
+
+// Open builds a database over a shell catalog and per-table rows, placing
+// rows on the appliance per each table's distribution. Tables without
+// statistics get them computed per node and merged (paper §2.2).
+func Open(shell *catalog.Shell, data map[string][]types.Row) (*DB, error) {
+	if err := buildMissingStats(shell, data); err != nil {
+		return nil, err
+	}
+	db := &DB{shell: shell, appliance: engine.New(shell), data: data}
+	for _, t := range shell.Tables() {
+		if err := db.appliance.LoadTable(t.Name, data[t.Name]); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// OpenTPCH generates a TPC-H appliance: scale factor sf across n compute
+// nodes, deterministic under seed. Statistics are computed per node and
+// merged into globals exactly as §2.2 describes.
+func OpenTPCH(sf float64, nodes int, seed int64) (*DB, error) {
+	return OpenTPCHSkewed(sf, nodes, seed, 1)
+}
+
+// OpenTPCHSkewed is OpenTPCH with a foreign-key skew exponent (1 =
+// uniform); used to stress the cost model's §3.3.1 uniformity assumption.
+func OpenTPCHSkewed(sf float64, nodes int, seed int64, skew float64) (*DB, error) {
+	shell, data, err := tpch.BuildShellSkewed(sf, nodes, seed, skew)
+	if err != nil {
+		return nil, err
+	}
+	return Open(shell, map[string][]types.Row(data))
+}
+
+// Shell exposes the shell database.
+func (db *DB) Shell() *Shell { return db.shell }
+
+// Appliance exposes the engine for metrics inspection.
+func (db *DB) Appliance() *engine.Appliance { return db.appliance }
+
+// TPCHQuery returns the adapted TPC-H query by name ("q01".."q20").
+func TPCHQuery(name string) (string, bool) {
+	q, ok := tpch.Get(name)
+	return q.SQL, ok
+}
+
+// TPCHQueryNames lists the adapted TPC-H suite.
+func TPCHQueryNames() []string {
+	var out []string
+	for _, q := range tpch.Queries() {
+		out = append(out, q.Name)
+	}
+	return out
+}
+
+// QueryPlan is the result of optimizing one query: every intermediate
+// artifact of the Figure 2 pipeline.
+type QueryPlan struct {
+	SQL string
+	// Normalized is the simplified logical tree (§2.5 step 2a).
+	Normalized *algebra.Tree
+	// Memo is the serial search space (§2.5 step 2b–d).
+	Memo *memo.Memo
+	// MemoXML is the exported search space (§2.5 step 3).
+	MemoXML []byte
+	// Distributed is the PDW optimizer's winning plan (§2.5 step 4).
+	Distributed *core.Plan
+	// DSQL is the executable step sequence (§3.4).
+	DSQL *dsql.Plan
+}
+
+// Cost returns the plan's modeled DMS cost.
+func (p *QueryPlan) Cost() float64 { return p.Distributed.TotalCost }
+
+// Moves counts data-movement operations by kind.
+func (p *QueryPlan) Moves() map[MoveKind]int { return p.Distributed.Root.CountMoves() }
+
+// Explain renders the distributed plan and its DSQL steps.
+func (p *QueryPlan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- distributed plan (DMS cost %.6g, %d groups, %d options considered)\n",
+		p.Distributed.TotalCost, p.Distributed.Groups, p.Distributed.OptionsConsidered)
+	b.WriteString(p.Distributed.Root.String())
+	b.WriteString("-- DSQL\n")
+	b.WriteString(p.DSQL.String())
+	return b.String()
+}
+
+// Optimize compiles a SQL query into a distributed plan.
+func (db *DB) Optimize(sql string, opts Options) (*QueryPlan, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	b := algebra.NewBinder(db.shell)
+	bound, err := b.Bind(sel)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := normalize.New(b).Normalize(bound)
+	if err != nil {
+		return nil, err
+	}
+	var seeds []*algebra.Tree
+	if opts.SeedCollocated {
+		// §3.1: seed the MEMO with a distribution-aware plan *alongside*
+		// the normalized one, so a tight budget still explores the
+		// collocated neighborhood.
+		if seeded := normalize.SeedCollocated(norm); seeded.Fingerprint() != norm.Fingerprint() {
+			seeds = append(seeds, seeded)
+		}
+	}
+	budget := opts.Budget
+	switch {
+	case budget == 0:
+		budget = memo.DefaultBudget
+	case budget < 0:
+		budget = 0
+	}
+	m, err := memo.OptimizeSeeded(db.shell, norm, budget, seeds...)
+	if err != nil {
+		return nil, err
+	}
+	data, err := memoxml.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := memoxml.Decode(data, db.shell)
+	if err != nil {
+		return nil, err
+	}
+	lambda := cost.DefaultLambda()
+	if opts.Lambda != nil {
+		lambda = *opts.Lambda
+	}
+	model := cost.NewModel(db.shell.Topology.ComputeNodes, lambda)
+	cfg := core.Config{
+		Mode:                        opts.Mode,
+		DisableInterestingRetention: opts.DisableInterestingRetention,
+		DisableLocalGlobalAgg:       opts.DisableLocalGlobalAgg,
+	}
+	plan, err := core.New(dec, db.shell, model, cfg).Optimize()
+	if err != nil {
+		return nil, err
+	}
+	dp, err := dsql.Generate(plan, norm.OutputCols())
+	if err != nil {
+		return nil, err
+	}
+	return &QueryPlan{
+		SQL:         sql,
+		Normalized:  norm,
+		Memo:        m,
+		MemoXML:     data,
+		Distributed: plan,
+		DSQL:        dp,
+	}, nil
+}
+
+// Result is a query result.
+type Result struct {
+	Columns []string
+	Rows    []Row
+}
+
+// String renders the result as a simple table.
+func (r *Result) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Columns, " | "))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Execute optimizes and runs a query on the simulated appliance.
+func (db *DB) Execute(sql string, opts Options) (*Result, error) {
+	plan, err := db.Optimize(sql, opts)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecutePlan(plan)
+}
+
+// ExecutePlan runs a previously optimized plan.
+func (db *DB) ExecutePlan(plan *QueryPlan) (*Result, error) {
+	res, err := db.appliance.Execute(plan.DSQL)
+	if err != nil {
+		return nil, err
+	}
+	return resultOf(res.Cols, res.Rows), nil
+}
+
+// ExecuteSerial runs the query on a single in-memory instance holding all
+// data — the correctness reference the distributed engine is validated
+// against (every distributed result must match it up to row order).
+func (db *DB) ExecuteSerial(sql string) (*Result, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	b := algebra.NewBinder(db.shell)
+	bound, err := b.Bind(sel)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := normalize.New(b).Normalize(bound)
+	if err != nil {
+		return nil, err
+	}
+	src := func(name string) ([]types.Row, []string, error) {
+		t := db.shell.Table(name)
+		if t == nil {
+			return nil, nil, fmt.Errorf("pdwqo: unknown table %q", name)
+		}
+		names := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			names[i] = c.Name
+		}
+		return db.data[t.Name], names, nil
+	}
+	rel, err := exec.Run(norm, src)
+	if err != nil {
+		return nil, err
+	}
+	return resultOf(rel.Cols, rel.Rows), nil
+}
+
+func resultOf(cols []algebra.ColumnMeta, rows []types.Row) *Result {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return &Result{Columns: names, Rows: rows}
+}
