@@ -27,6 +27,7 @@ func main() {
 		serial   = flag.Bool("serial", false, "also run the single-node reference and compare")
 		baseline = flag.Bool("baseline", false, "use the parallelized-best-serial-plan mode")
 		maxRows  = flag.Int("rows", 20, "max result rows to print")
+		parallel = flag.Int("parallel", 0, "worker parallelism for enumeration and execution (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -47,7 +48,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	opts := pdwqo.Options{}
+	db.SetParallelism(*parallel)
+	opts := pdwqo.Options{Parallelism: *parallel}
 	if *baseline {
 		opts.Mode = pdwqo.ModeSerialBaseline
 	}

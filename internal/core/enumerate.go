@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
+	"sync/atomic"
 
 	"pdwqo/internal/algebra"
 	"pdwqo/internal/catalog"
@@ -35,7 +37,7 @@ func (o *Optimizer) enumerateGroup(g *pgroup) error {
 		enforced = append(enforced, o.enforce(g, opt)...)
 	}
 	g.opts = o.pruneOptions(g, enforced)
-	o.retained += len(g.opts)
+	atomic.AddInt64(&o.retained, int64(len(g.opts)))
 	return nil
 }
 
@@ -63,7 +65,7 @@ func (o *Optimizer) newRelOption(op algebra.Operator, inputs []*Option, dist Dis
 		work += in.Rows * mult
 	}
 	opt.TieCost += work*1e-3 + rows*1e-3
-	o.considered++
+	atomic.AddInt64(&o.considered, 1)
 	return opt
 }
 
@@ -88,7 +90,7 @@ func (o *Optimizer) newMoveOption(kind cost.MoveKind, col algebra.ColumnID, in *
 		DMSCost: in.DMSCost + o.model.MoveCost(kind, in.Rows, in.Width),
 		TieCost: in.TieCost,
 	}
-	o.considered++
+	atomic.AddInt64(&o.considered, 1)
 	return opt
 }
 
@@ -145,10 +147,19 @@ func (o *Optimizer) pruneOptions(g *pgroup, opts []*Option) []*Option {
 			consider("S", opt)
 		}
 	}
-	// Deduplicate survivors deterministically.
+	// Deduplicate survivors deterministically: iterate classes in sorted
+	// key order — ranging the map directly would let options tied on
+	// (cost, tie, placement) surface in map-iteration order, which varies
+	// run to run and across the serial/parallel enumerators.
+	keys := make([]string, 0, len(classes))
+	for k := range classes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	seen := map[*Option]bool{}
 	var out []*Option
-	for _, opt := range classes {
+	for _, k := range keys {
+		opt := classes[k]
 		if !seen[opt] {
 			seen[opt] = true
 			out = append(out, opt)
@@ -400,7 +411,7 @@ func gbCompatible(op *algebra.GroupBy, d Distribution) bool {
 // localGlobalOptions builds LocalGB → move → GlobalGB chains over one
 // child option.
 func (o *Optimizer) localGlobalOptions(g *pgroup, op *algebra.GroupBy, co *Option) []*Option {
-	localAggs, globalAggs, ok := o.splitAggs(op.Aggs)
+	localAggs, globalAggs, ok := splitAggs(g, op.Aggs)
 	if !ok {
 		return nil
 	}
@@ -443,13 +454,14 @@ func (o *Optimizer) localGlobalOptions(g *pgroup, op *algebra.GroupBy, co *Optio
 }
 
 // splitAggs rewrites complete aggregates into local/global pairs with
-// fresh partial-result columns. DISTINCT aggregates cannot split.
-func (o *Optimizer) splitAggs(aggs []algebra.AggDef) (local, global []algebra.AggDef, ok bool) {
+// fresh partial-result columns minted from the group's private range.
+// DISTINCT aggregates cannot split.
+func splitAggs(g *pgroup, aggs []algebra.AggDef) (local, global []algebra.AggDef, ok bool) {
 	for _, a := range aggs {
 		if a.Distinct {
 			return nil, nil, false
 		}
-		pid := o.freshCol()
+		pid := g.freshCol()
 		partial := algebra.AggDef{Func: a.Func, Arg: a.Arg, ID: pid, Name: fmt.Sprintf("partial%d", pid)}
 		pref := algebra.NewColRef(algebra.ColumnMeta{ID: pid, Name: partial.Name, Type: partial.ResultType()})
 		var g algebra.AggDef

@@ -3,7 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pdwqo/internal/algebra"
 	"pdwqo/internal/catalog"
@@ -35,6 +38,11 @@ type Config struct {
 	// DisableLocalGlobalAgg turns off the local/global aggregation split
 	// (E9 ablation of the paper's §4 "local-global transformation").
 	DisableLocalGlobalAgg bool
+	// Parallelism bounds the workers enumerating independent MEMO groups
+	// within one topological wave: 0 means GOMAXPROCS, 1 forces the serial
+	// enumerator. Pruning is per-group and fresh columns are minted from
+	// per-group ranges, so the chosen plan is identical at any setting.
+	Parallelism int
 }
 
 // Plan is the optimizer's result: the cheapest distributed plan plus
@@ -60,12 +68,13 @@ type Optimizer struct {
 	model  cost.Model
 	config Config
 
-	groups  map[int]*pgroup
-	order   []int // bottom-up topological order
-	nextCol algebra.ColumnID
+	groups map[int]*pgroup
+	order  []int // bottom-up topological order
 
-	considered int
-	retained   int
+	// Enumeration statistics, updated atomically: groups in one wave
+	// enumerate concurrently.
+	considered int64
+	retained   int64
 }
 
 // pgroup is the PDW-side view of one memo group.
@@ -75,19 +84,28 @@ type pgroup struct {
 	interesting algebra.ColSet
 	opts        []*Option
 	outSet      algebra.ColSet
+	// nextCol walks this group's private fresh-column range (see
+	// colStride): enumeration within a group is sequential, so minting is
+	// deterministic even when groups enumerate concurrently.
+	nextCol algebra.ColumnID
+}
+
+// colStride is the size of each group's fresh-column ID range. Fresh
+// columns are minted only for local/global aggregate splits — a handful
+// per retained child option — so the range never overflows in practice.
+const colStride = 1 << 16
+
+// freshCol mints a column ID from the group's private range; IDs cannot
+// collide with exported columns or with other groups' mints.
+func (g *pgroup) freshCol() algebra.ColumnID {
+	g.nextCol++
+	return g.nextCol
 }
 
 // New builds an optimizer for a decoded memo against the shell database's
 // topology.
 func New(dec *memoxml.Decoded, shell *catalog.Shell, model cost.Model, config Config) *Optimizer {
-	return &Optimizer{dec: dec, shell: shell, model: model, config: config,
-		nextCol: algebra.ColumnID(dec.MaxCol)}
-}
-
-// freshCol mints a column ID that cannot collide with exported ones.
-func (o *Optimizer) freshCol() algebra.ColumnID {
-	o.nextCol++
-	return o.nextCol
+	return &Optimizer{dec: dec, shell: shell, model: model, config: config}
 }
 
 // Optimize runs the Figure 4 pipeline and returns the best plan.
@@ -96,12 +114,102 @@ func (o *Optimizer) Optimize() (*Plan, error) {
 		return nil, err
 	}
 	o.deriveInteresting() // step 04
-	for _, gid := range o.order {
-		if err := o.enumerateGroup(o.groups[gid]); err != nil { // steps 05–07
-			return nil, err
-		}
+	if err := o.enumerate(); err != nil { // steps 05–07
+		return nil, err
 	}
 	return o.extract() // steps 08–09
+}
+
+// enumerate runs steps 05–07 over every group bottom-up. With parallelism,
+// independent groups of one topological wave enumerate concurrently: a
+// group only reads its children's finished opts, so each wave barrier is
+// the only synchronization needed.
+func (o *Optimizer) enumerate() error {
+	par := o.config.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par == 1 {
+		for _, gid := range o.order {
+			if err := o.enumerateGroup(o.groups[gid]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, wave := range o.waves() {
+		if err := o.enumerateWave(wave, par); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waves partitions the bottom-up order into topological levels: every
+// group's children sit in a strictly earlier wave, so the groups within
+// one wave have no enumeration dependencies on each other.
+func (o *Optimizer) waves() [][]int {
+	depth := make(map[int]int, len(o.order))
+	maxd := 0
+	for _, id := range o.order { // children precede parents in o.order
+		d := 0
+		for _, e := range o.groups[id].exprs {
+			for _, c := range e.Children {
+				if dc := depth[c] + 1; dc > d {
+					d = dc
+				}
+			}
+		}
+		depth[id] = d
+		if d > maxd {
+			maxd = d
+		}
+	}
+	out := make([][]int, maxd+1)
+	for _, id := range o.order {
+		out[depth[id]] = append(out[depth[id]], id)
+	}
+	return out
+}
+
+// enumerateWave fans one wave's groups out over at most par workers. The
+// reported error is the first failing group in wave order, matching the
+// serial enumerator.
+func (o *Optimizer) enumerateWave(wave []int, par int) error {
+	if par > len(wave) {
+		par = len(wave)
+	}
+	if par <= 1 {
+		for _, gid := range wave {
+			if err := o.enumerateGroup(o.groups[gid]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(wave))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(wave) {
+					return
+				}
+				errs[i] = o.enumerateGroup(o.groups[wave[i]])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // prepare implements Figure 4 steps 01–03: build PDW-side groups from the
@@ -190,6 +298,12 @@ func (o *Optimizer) prepare() error {
 	}
 	if err := dfs(o.dec.Root); err != nil {
 		return err
+	}
+	// Carve a private fresh-column range per group, positioned by the
+	// group's place in the bottom-up order: minting stays deterministic
+	// when groups of one wave enumerate concurrently.
+	for i, id := range o.order {
+		o.groups[id].nextCol = algebra.ColumnID(o.dec.MaxCol) + algebra.ColumnID(i)*colStride
 	}
 	return nil
 }
@@ -289,8 +403,8 @@ func (o *Optimizer) extract() (*Plan, error) {
 		Root:              best,
 		ReturnCost:        bestReturn,
 		TotalCost:         bestTotal,
-		OptionsConsidered: o.considered,
-		OptionsRetained:   o.retained,
+		OptionsConsidered: int(atomic.LoadInt64(&o.considered)),
+		OptionsRetained:   int(atomic.LoadInt64(&o.retained)),
 		Groups:            len(o.order),
 	}, nil
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package difftest
+
+// raceEnabled trims the corpus sweep when the race detector multiplies
+// every execution ~4×: one topology instead of four (still all 22
+// queries), fewer determinism runs, and no wall-clock assertions. The
+// full-size sweep runs in the plain test lane.
+const raceEnabled = true

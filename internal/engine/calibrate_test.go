@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// lambdaFields enumerates the calibrated constants for assertion loops.
+func lambdaFields(t *testing.T, name string, v float64) {
+	t.Helper()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("%s is not finite: %v", name, v)
+	}
+	if v <= 0 {
+		t.Errorf("%s is not positive: %v", name, v)
+	}
+}
+
+func TestCalibrateSeededLambdasPositive(t *testing.T) {
+	l := CalibrateSeeded(2000, 42)
+	lambdaFields(t, "ReaderDirect", l.ReaderDirect)
+	lambdaFields(t, "ReaderHash", l.ReaderHash)
+	lambdaFields(t, "Network", l.Network)
+	lambdaFields(t, "Writer", l.Writer)
+	lambdaFields(t, "BulkCopy", l.BulkCopy)
+}
+
+func TestCalibrateClampsTinyRowCounts(t *testing.T) {
+	// Volumes below the floor are raised to it rather than producing
+	// degenerate (zero-byte) measurements.
+	l := Calibrate(1)
+	lambdaFields(t, "ReaderDirect", l.ReaderDirect)
+	lambdaFields(t, "BulkCopy", l.BulkCopy)
+}
+
+func TestCalibrationRowsSeededDeterminism(t *testing.T) {
+	a, b := calibrationRows(3000, 7), calibrationRows(3000, 7)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("row %d col %d differs under the same seed: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+
+	c := calibrationRows(3000, 8)
+	same := 0
+	for i := range a {
+		if a[i][0] == c[i][0] && a[i][2] == c[i][2] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("seed has no effect on the calibration payload")
+	}
+}
+
+func TestCalibrationRowsVaryWidth(t *testing.T) {
+	rows := calibrationRows(1000, 42)
+	widths := map[int]bool{}
+	for _, r := range rows {
+		widths[r.Width()] = true
+	}
+	if len(widths) < 10 {
+		t.Errorf("calibration payload too uniform: %d distinct row widths", len(widths))
+	}
+}

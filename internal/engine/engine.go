@@ -2,12 +2,19 @@
 // node plus N compute nodes, each owning a node-local database instance and
 // a DMS endpoint. DSQL plans execute exactly as described in the paper —
 // steps run serially; each step ships a SQL *string* to the participating
-// nodes, whose local engines parse and execute it themselves; DMS
-// operations route the resulting rows into temp tables; the final step
-// streams rows back to the client through the control node.
+// nodes, whose local engines parse and execute it themselves, concurrently
+// across nodes; DMS operations route the resulting rows into temp tables;
+// the final step streams rows back to the client through the control node.
+//
+// Node-level work inside one step fans out over a bounded worker pool
+// (Appliance.Parallelism; default GOMAXPROCS). Parallelism == 1 is the
+// strictly serial reference path: the differential harness
+// (internal/difftest) certifies that both paths produce byte-identical
+// results for every query.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -71,12 +78,41 @@ func (m *Metrics) TotalBytesMoved() int64 {
 	return n
 }
 
+// StepCount returns the number of recorded steps under the lock; safe to
+// call while queries execute concurrently.
+func (m *Metrics) StepCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.Steps)
+}
+
+// Snapshot returns a copy of the recorded steps. Callers observing metrics
+// while the appliance executes (experiment harnesses, monitors) must use
+// this instead of reading Steps directly: the slice is appended under the
+// mutex, and an unlocked read races with execution.
+func (m *Metrics) Snapshot() []StepMetric {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]StepMetric(nil), m.Steps...)
+}
+
 // Appliance is the simulated PDW box.
 type Appliance struct {
 	Shell   *catalog.Shell
 	Control *Node
 	Compute []*Node
 	Metrics Metrics
+
+	// Parallelism bounds the worker pool that fans node-local work out
+	// within one step: 0 means GOMAXPROCS, 1 means strictly serial, n > 1
+	// caps concurrent node tasks at n. Steps themselves always run
+	// serially (paper §2.4).
+	Parallelism int
+	// NodeLatency simulates the control→compute dispatch round trip paid
+	// once per node per step (network hop + remote statement setup). The
+	// default 0 keeps tests exact; experiments set it to make node-overlap
+	// speedups observable regardless of host core count.
+	NodeLatency time.Duration
 }
 
 // New builds an appliance for the shell's topology with empty storage.
@@ -93,24 +129,23 @@ func New(shell *catalog.Shell) *Appliance {
 
 // LoadTable places a table's rows per its declared distribution:
 // replicated tables land on every compute node, hash tables are routed by
-// the distribution column.
+// the distribution column. Per-node loads run on the appliance's worker
+// pool.
 func (a *Appliance) LoadTable(name string, rows []types.Row) error {
 	tbl := a.Shell.Table(name)
 	if tbl == nil {
 		return fmt.Errorf("engine: unknown table %q", name)
 	}
-	for _, n := range a.Compute {
-		if err := n.DB.Create(tbl.Name, tbl.Columns); err != nil {
-			return err
-		}
+	ctx := context.Background()
+	if err := parallelFor(ctx, len(a.Compute), a.workers(len(a.Compute)), func(_ context.Context, i int) error {
+		return a.Compute[i].DB.Create(tbl.Name, tbl.Columns)
+	}); err != nil {
+		return err
 	}
 	if tbl.Dist.Kind == catalog.DistReplicated {
-		for _, n := range a.Compute {
-			if err := n.DB.BulkInsert(tbl.Name, rows); err != nil {
-				return err
-			}
-		}
-		return nil
+		return parallelFor(ctx, len(a.Compute), a.workers(len(a.Compute)), func(_ context.Context, i int) error {
+			return a.Compute[i].DB.BulkInsert(tbl.Name, rows)
+		})
 	}
 	ci := tbl.ColumnIndex(tbl.Dist.Column)
 	buckets := make([][]types.Row, len(a.Compute))
@@ -118,12 +153,9 @@ func (a *Appliance) LoadTable(name string, rows []types.Row) error {
 		n := int(types.Hash(r[ci]) % uint64(len(a.Compute)))
 		buckets[n] = append(buckets[n], r)
 	}
-	for i, n := range a.Compute {
-		if err := n.DB.BulkInsert(tbl.Name, buckets[i]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return parallelFor(ctx, len(a.Compute), a.workers(len(a.Compute)), func(_ context.Context, i int) error {
+		return a.Compute[i].DB.BulkInsert(tbl.Name, buckets[i])
+	})
 }
 
 // Result is the client-visible query result.
@@ -132,10 +164,17 @@ type Result struct {
 	Rows []types.Row
 }
 
-// Execute runs a DSQL plan serially, step by step (paper §2.4: "query
-// plans are executed serially, one step at a time", each step parallel
-// across nodes).
+// Execute runs a DSQL plan step by step (paper §2.4: "query plans are
+// executed serially, one step at a time", each step parallel across
+// nodes — the per-node fan-out is what Parallelism bounds).
 func (a *Appliance) Execute(p *dsql.Plan) (*Result, error) {
+	return a.ExecuteContext(context.Background(), p)
+}
+
+// ExecuteContext is Execute with caller-controlled cancellation: a failing
+// node cancels the step's remaining node tasks, and an external cancel
+// stops between-node work as soon as the running tasks notice.
+func (a *Appliance) ExecuteContext(ctx context.Context, p *dsql.Plan) (*Result, error) {
 	// Session catalog: shell tables plus temp tables registered as steps
 	// create them.
 	session := catalog.NewShell(a.Shell.Topology.ComputeNodes)
@@ -162,11 +201,11 @@ func (a *Appliance) Execute(p *dsql.Plan) (*Result, error) {
 		}
 		switch step.Kind {
 		case dsql.StepMove:
-			if err := a.executeMove(step, tree, session, &tempNames, start); err != nil {
+			if err := a.executeMove(ctx, step, tree, session, &tempNames, start); err != nil {
 				return nil, fmt.Errorf("engine: step %d: %w", step.ID, err)
 			}
 		case dsql.StepReturn:
-			rel, err := a.executeReturn(step, tree, p, start)
+			rel, err := a.executeReturn(ctx, step, tree, p, start)
 			if err != nil {
 				return nil, fmt.Errorf("engine: step %d: %w", step.ID, err)
 			}
@@ -214,52 +253,66 @@ func (a *Appliance) sourceNodes(step dsql.Step) []*Node {
 	}
 }
 
-// runOnNodes executes the compiled tree on each node in parallel.
-func (a *Appliance) runOnNodes(tree *algebra.Tree, nodes []*Node) ([]*exec.Relation, error) {
+// runOnNodes executes the compiled tree on each node, fanned out over the
+// appliance's worker pool. Results keep node order; the first failing
+// node's error cancels the remaining tasks.
+func (a *Appliance) runOnNodes(ctx context.Context, tree *algebra.Tree, nodes []*Node) ([]*exec.Relation, error) {
+	// The step tree is shared by every node's executor, and Tree.OutputCols
+	// memoizes lazily; derive the full schema cache here, before the
+	// fan-out, so the workers only ever read it.
+	tree.OutputCols()
 	rels := make([]*exec.Relation, len(nodes))
-	errs := make([]error, len(nodes))
-	var wg sync.WaitGroup
-	for i, n := range nodes {
-		wg.Add(1)
-		go func(i int, n *Node) {
-			defer wg.Done()
-			src := func(name string) ([]types.Row, []string, error) {
-				t := n.DB.Table(name)
-				if t == nil {
-					return nil, nil, fmt.Errorf("node %d: no table %q", n.ID, name)
-				}
-				names := make([]string, len(t.Cols))
-				for j, c := range t.Cols {
-					names[j] = c.Name
-				}
-				return t.Rows, names, nil
+	err := parallelFor(ctx, len(nodes), a.workers(len(nodes)), func(ctx context.Context, i int) error {
+		simulateLatency(ctx, a.NodeLatency)
+		n := nodes[i]
+		src := func(name string) ([]types.Row, []string, error) {
+			t := n.DB.Table(name)
+			if t == nil {
+				return nil, nil, fmt.Errorf("node %d: no table %q", n.ID, name)
 			}
-			rels[i], errs[i] = exec.Run(tree, src)
-		}(i, n)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			names := make([]string, len(t.Cols))
+			for j, c := range t.Cols {
+				names[j] = c.Name
+			}
+			return t.Rows, names, nil
 		}
+		rel, err := exec.Run(tree, src)
+		if err != nil {
+			return err
+		}
+		rels[i] = rel
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rels, nil
 }
 
+// batch is one destination node's routed rows plus its tallied share.
+type batch struct {
+	node *Node
+	rows []types.Row
+}
+
 // executeMove runs the step SQL on the source nodes and routes rows per
-// the DMS operation into the destination temp table.
-func (a *Appliance) executeMove(step dsql.Step, tree *algebra.Tree, session *catalog.Shell, tempNames *[]string, start time.Time) error {
+// the DMS operation into the destination temp table. Routing is computed
+// per source relation and inserted per destination node, both on the
+// worker pool; the merged row order is independent of scheduling (source
+// order within each destination), so parallel and serial execution
+// materialize byte-identical temp tables.
+func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algebra.Tree, session *catalog.Shell, tempNames *[]string, start time.Time) error {
 	sources := a.sourceNodes(step)
-	rels, err := a.runOnNodes(tree, sources)
+	rels, err := a.runOnNodes(ctx, tree, sources)
 	if err != nil {
 		return err
 	}
 	// Destination setup.
 	destNodes, destDist := a.destFor(step)
-	for _, n := range destNodes {
-		if err := n.DB.Create(step.Dest, step.DestCols); err != nil {
-			return err
-		}
+	if err := parallelFor(ctx, len(destNodes), a.workers(len(destNodes)), func(_ context.Context, i int) error {
+		return destNodes[i].DB.Create(step.Dest, step.DestCols)
+	}); err != nil {
+		return err
 	}
 	*tempNames = append(*tempNames, step.Dest)
 	if err := session.AddTable(&catalog.Table{
@@ -282,38 +335,40 @@ func (a *Appliance) executeMove(step dsql.Step, tree *algebra.Tree, session *cat
 		}
 	}
 
-	var rows, hashed, bytes, maxNode int64
-	route := func(dest *Node, rs []types.Row) error {
-		var b int64
-		for _, r := range rs {
-			b += int64(r.Width())
-		}
-		bytes += b
-		if b > maxNode {
-			maxNode = b
-		}
-		rows += int64(len(rs))
-		return dest.DB.BulkInsert(step.Dest, rs)
-	}
+	var batches []batch
+	var hashed int64
 
 	switch step.MoveKind {
 	case cost.Shuffle:
-		buckets := make([][]types.Row, len(a.Compute))
-		for si, rel := range rels {
-			_ = si
-			for _, r := range rel.Rows {
-				hashed++
+		// Hash-route each source relation on the worker pool, then merge
+		// per destination in source order (deterministic under any
+		// schedule).
+		perSrc := make([][][]types.Row, len(rels))
+		perSrcHashed := make([]int64, len(rels))
+		if err := parallelFor(ctx, len(rels), a.workers(len(rels)), func(_ context.Context, si int) error {
+			buckets := make([][]types.Row, len(a.Compute))
+			for _, r := range rels[si].Rows {
+				perSrcHashed[si]++
 				n := 0
 				if !r[hashPos].IsNull() {
 					n = int(types.Hash(r[hashPos]) % uint64(len(a.Compute)))
 				}
 				buckets[n] = append(buckets[n], r)
 			}
+			perSrc[si] = buckets
+			return nil
+		}); err != nil {
+			return err
 		}
-		for i, n := range a.Compute {
-			if err := route(n, buckets[i]); err != nil {
-				return err
+		for _, h := range perSrcHashed {
+			hashed += h
+		}
+		for ni, n := range a.Compute {
+			var rows []types.Row
+			for si := range perSrc {
+				rows = append(rows, perSrc[si][ni]...)
 			}
+			batches = append(batches, batch{node: n, rows: rows})
 		}
 
 	case cost.Trim:
@@ -321,10 +376,12 @@ func (a *Appliance) executeMove(step dsql.Step, tree *algebra.Tree, session *cat
 		if len(sources) != len(a.Compute) {
 			return fmt.Errorf("trim requires all compute nodes as sources")
 		}
-		for si, rel := range rels {
+		keeps := make([][]types.Row, len(rels))
+		perSrcHashed := make([]int64, len(rels))
+		if err := parallelFor(ctx, len(rels), a.workers(len(rels)), func(_ context.Context, si int) error {
 			var keep []types.Row
-			for _, r := range rel.Rows {
-				hashed++
+			for _, r := range rels[si].Rows {
+				perSrcHashed[si]++
 				n := 0
 				if !r[hashPos].IsNull() {
 					n = int(types.Hash(r[hashPos]) % uint64(len(a.Compute)))
@@ -333,9 +390,16 @@ func (a *Appliance) executeMove(step dsql.Step, tree *algebra.Tree, session *cat
 					keep = append(keep, r)
 				}
 			}
-			if err := route(a.Compute[si], keep); err != nil {
-				return err
-			}
+			keeps[si] = keep
+			return nil
+		}); err != nil {
+			return err
+		}
+		for _, h := range perSrcHashed {
+			hashed += h
+		}
+		for si, n := range a.Compute {
+			batches = append(batches, batch{node: n, rows: keeps[si]})
 		}
 
 	case cost.Broadcast, cost.ControlNodeMove, cost.ReplicatedBroadcast:
@@ -344,9 +408,7 @@ func (a *Appliance) executeMove(step dsql.Step, tree *algebra.Tree, session *cat
 			all = append(all, rel.Rows...)
 		}
 		for _, n := range a.Compute {
-			if err := route(n, all); err != nil {
-				return err
-			}
+			batches = append(batches, batch{node: n, rows: all})
 		}
 
 	case cost.PartitionMove, cost.RemoteCopySingle:
@@ -354,12 +416,34 @@ func (a *Appliance) executeMove(step dsql.Step, tree *algebra.Tree, session *cat
 		for _, rel := range rels {
 			all = append(all, rel.Rows...)
 		}
-		if err := route(a.Control, all); err != nil {
-			return err
-		}
+		batches = append(batches, batch{node: a.Control, rows: all})
 
 	default:
 		return fmt.Errorf("unsupported move kind %v", step.MoveKind)
+	}
+
+	// Deliver every batch on the worker pool, tallying per destination so
+	// the step metric aggregates race-free and deterministically.
+	type tally struct{ rows, bytes int64 }
+	tallies := make([]tally, len(batches))
+	if err := parallelFor(ctx, len(batches), a.workers(len(batches)), func(ctx context.Context, i int) error {
+		simulateLatency(ctx, a.NodeLatency)
+		var b int64
+		for _, r := range batches[i].rows {
+			b += int64(r.Width())
+		}
+		tallies[i] = tally{rows: int64(len(batches[i].rows)), bytes: b}
+		return batches[i].node.DB.BulkInsert(step.Dest, batches[i].rows)
+	}); err != nil {
+		return err
+	}
+	var rows, bytes, maxNode int64
+	for _, t := range tallies {
+		rows += t.rows
+		bytes += t.bytes
+		if t.bytes > maxNode {
+			maxNode = t.bytes
+		}
 	}
 
 	a.Metrics.add(StepMetric{
@@ -385,10 +469,12 @@ func (a *Appliance) destFor(step dsql.Step) ([]*Node, catalog.Distribution) {
 }
 
 // executeReturn runs the final SQL and assembles the client result,
-// merging per the plan's order spec and applying TOP.
-func (a *Appliance) executeReturn(step dsql.Step, tree *algebra.Tree, p *dsql.Plan, start time.Time) (*Result, error) {
+// merging per-node streams in node order, then applying the plan's order
+// spec and TOP — so the merged relation is identical under any worker
+// schedule.
+func (a *Appliance) executeReturn(ctx context.Context, step dsql.Step, tree *algebra.Tree, p *dsql.Plan, start time.Time) (*Result, error) {
 	sources := a.sourceNodes(step)
-	rels, err := a.runOnNodes(tree, sources)
+	rels, err := a.runOnNodes(ctx, tree, sources)
 	if err != nil {
 		return nil, err
 	}

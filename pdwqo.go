@@ -81,6 +81,13 @@ type Options struct {
 	// initial plan inserted into the MEMO joins collocated factors first,
 	// which preserves plan quality under tight exploration budgets.
 	SeedCollocated bool
+	// Parallelism bounds the worker pools of the PDW-side plan enumerator
+	// (independent MEMO groups per topological wave) and, when this
+	// Options value is passed to Execute, of the appliance's per-node
+	// step fan-out: 0 means GOMAXPROCS, 1 forces the serial reference
+	// paths. Plans and results are identical at any setting — the
+	// internal/difftest harness certifies it.
+	Parallelism int
 }
 
 // DB is an open appliance: shell metadata plus loaded data.
@@ -128,6 +135,14 @@ func (db *DB) Shell() *Shell { return db.shell }
 
 // Appliance exposes the engine for metrics inspection.
 func (db *DB) Appliance() *engine.Appliance { return db.appliance }
+
+// SetParallelism bounds the appliance's per-node worker pool for all
+// subsequent executions: 0 means GOMAXPROCS, 1 forces the serial reference
+// path. It returns the DB for chaining.
+func (db *DB) SetParallelism(n int) *DB {
+	db.appliance.Parallelism = n
+	return db
+}
 
 // TPCHQuery returns the adapted TPC-H query by name ("q01".."q20").
 func TPCHQuery(name string) (string, bool) {
@@ -229,6 +244,7 @@ func (db *DB) Optimize(sql string, opts Options) (*QueryPlan, error) {
 		Mode:                        opts.Mode,
 		DisableInterestingRetention: opts.DisableInterestingRetention,
 		DisableLocalGlobalAgg:       opts.DisableLocalGlobalAgg,
+		Parallelism:                 opts.Parallelism,
 	}
 	plan, err := core.New(dec, db.shell, model, cfg).Optimize()
 	if err != nil {
@@ -271,11 +287,16 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// Execute optimizes and runs a query on the simulated appliance.
+// Execute optimizes and runs a query on the simulated appliance. A
+// non-zero opts.Parallelism also applies to the appliance (equivalent to
+// calling SetParallelism first).
 func (db *DB) Execute(sql string, opts Options) (*Result, error) {
 	plan, err := db.Optimize(sql, opts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Parallelism != 0 {
+		db.SetParallelism(opts.Parallelism)
 	}
 	return db.ExecutePlan(plan)
 }
