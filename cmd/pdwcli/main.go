@@ -5,7 +5,8 @@
 // Usage:
 //
 //	pdwcli [-sf 0.01] [-nodes 8] [-seed 42] [-explain] [-serial]
-//	       [-baseline] (-q "SELECT ..." | -tpch q20)
+//	       [-baseline] [-retries 3] [-step-timeout 1s] [-fault "fail:step=1"]
+//	       (-q "SELECT ..." | -tpch q20)
 package main
 
 import (
@@ -28,6 +29,9 @@ func main() {
 		baseline = flag.Bool("baseline", false, "use the parallelized-best-serial-plan mode")
 		maxRows  = flag.Int("rows", 20, "max result rows to print")
 		parallel = flag.Int("parallel", 0, "worker parallelism for enumeration and execution (0 = GOMAXPROCS, 1 = serial)")
+		retries  = flag.Int("retries", 0, "max per-step retries for transient failures (0 = off)")
+		timeout  = flag.Duration("step-timeout", 0, "per-step attempt timeout (0 = unbounded)")
+		faultStr = flag.String("fault", "", `fault-injection spec, e.g. "fail:step=1,node=2" or "seed=42" (see pdwqo.ParseFaultSpec)`)
 	)
 	flag.Parse()
 
@@ -49,7 +53,13 @@ func main() {
 		fail(err)
 	}
 	db.SetParallelism(*parallel)
-	opts := pdwqo.Options{Parallelism: *parallel}
+	db.SetResilience(*retries, *timeout)
+	faults, err := pdwqo.ParseFaultSpec(*faultStr)
+	if err != nil {
+		fail(err)
+	}
+	db.SetFaultPlan(faults)
+	opts := pdwqo.Options{Parallelism: *parallel, MaxRetries: *retries, StepTimeout: *timeout}
 	if *baseline {
 		opts.Mode = pdwqo.ModeSerialBaseline
 	}
@@ -66,6 +76,10 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("-- %d rows, DMS cost %.6g, moves %v\n", len(res.Rows), plan.Cost(), plan.Moves())
+	if faults != nil || *retries > 0 {
+		m := &db.Appliance().Metrics
+		fmt.Printf("-- resilience: %d faults injected, %d retries\n", m.FaultCount(), m.RetryCount())
+	}
 	printRows(res, *maxRows)
 	if *serial {
 		ref, err := db.ExecuteSerial(sql)

@@ -248,3 +248,62 @@ func TestFuzzPlansAreDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestPanicRegressionSeeds pins concrete queries that previously crashed
+// the process with kind-mismatch panics (mixed-kind CASE results reaching
+// ORDER BY / MIN, NOT over a non-boolean, and an IN list whose literals
+// are incomparable with the column's histogram). Each must now either
+// execute or surface a clean error — never panic — on both the
+// distributed and the serial reference path.
+func TestPanicRegressionSeeds(t *testing.T) {
+	db, err := OpenTPCH(0.001, 4, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		sql     string
+		wantErr bool
+	}{
+		{"order-by-mixed-case", // ORDER BY over BIGINT/VARCHAR mix panicked in the sort comparator
+			`SELECT CASE WHEN c_acctbal > 0 THEN 1 ELSE 'neg' END AS k FROM customer ORDER BY k`, true},
+		{"min-mixed-case", // MIN over mixed kinds panicked in the aggregate comparator
+			`SELECT MIN(CASE WHEN c_acctbal > 0 THEN 1 ELSE 'neg' END) AS m FROM customer`, true},
+		{"not-non-boolean", // NOT over BIGINT panicked in Bool()
+			`SELECT c_custkey FROM customer WHERE NOT c_custkey`, true},
+		{"in-list-incomparable", // histogram estimation panicked comparing 'x' with BIGINT bounds
+			`SELECT c_custkey FROM customer WHERE c_custkey IN (1, 'x', '1996-01-01')`, false},
+	}
+	run := func(t *testing.T, what string, f func() error) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s panicked: %v", what, r)
+			}
+		}()
+		err := f()
+		if c := t.Name(); err != nil {
+			t.Logf("%s / %s: error (expected on mismatch cases): %v", c, what, err)
+		}
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var distErr, serialErr error
+			run(t, "distributed", func() error {
+				_, distErr = db.Execute(c.sql, Options{})
+				return distErr
+			})
+			run(t, "serial", func() error {
+				_, serialErr = db.ExecuteSerial(c.sql)
+				return serialErr
+			})
+			if c.wantErr && (distErr == nil || serialErr == nil) {
+				t.Errorf("kind mismatch must surface as an error: dist=%v serial=%v", distErr, serialErr)
+			}
+			if !c.wantErr && (distErr != nil || serialErr != nil) {
+				t.Errorf("query must execute cleanly: dist=%v serial=%v", distErr, serialErr)
+			}
+		})
+	}
+}

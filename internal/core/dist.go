@@ -129,6 +129,15 @@ type Option struct {
 // Cost returns the plan cost (DMS only, per §3.3).
 func (o *Option) Cost() float64 { return o.DMSCost }
 
+// Idempotent reports whether the DSQL step cut at this option can be
+// re-executed after a failure without changing the query's result. Move
+// options qualify: a DMS operation reads committed sources and
+// materializes into a private temp table, so dropping the partial table
+// and rerunning is safe (PDW treats step execution as restartable
+// units). Relational segments that stream to the client cannot be
+// replayed — rows may already have left the appliance.
+func (o *Option) Idempotent() bool { return o.Move != nil }
+
 // better reports whether a beats b under (DMS cost, tie cost).
 func better(a, b *Option) bool {
 	if a.DMSCost != b.DMSCost {

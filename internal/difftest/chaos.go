@@ -1,0 +1,108 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"pdwqo"
+)
+
+// Chaos certifies the engine's robustness contract for one case: run it
+// fault-free on the serial reference path, then again under a seeded
+// random fault plan, and assert that
+//
+//   - when retries absorb every fault, the chaos result is byte-identical
+//     to the fault-free reference (determinism under perturbation);
+//   - when they don't, the failure is a clean *pdwqo.StepError — never a
+//     panic;
+//   - either way, no temp or staging table is left behind on any node.
+//
+// The appliance's fault plan, retry policy and parallelism are restored
+// before returning, so a cached DB can be shared with other tests.
+func Chaos(db *pdwqo.DB, c Case, par int, seed int64, maxRetries int) error {
+	a := db.Appliance()
+	prevBackoff := a.RetryBackoff
+	defer func() {
+		db.SetFaultPlan(nil)
+		db.SetResilience(0, 0)
+		a.RetryBackoff = prevBackoff
+	}()
+
+	// Fault-free serial reference.
+	db.SetFaultPlan(nil)
+	db.SetResilience(0, 0)
+	db.SetParallelism(1)
+	plan, err := db.Optimize(c.SQL, pdwqo.Options{Parallelism: 1})
+	if err != nil {
+		return fmt.Errorf("%s: optimize: %w", c.Name, err)
+	}
+	ref, err := db.ExecutePlan(plan)
+	if err != nil {
+		return fmt.Errorf("%s: fault-free reference execute: %w", c.Name, err)
+	}
+
+	// Chaos run: same plan, seeded faults, parallel fan-out, fast backoff
+	// so retry storms don't dominate test wall clock.
+	faults := pdwqo.RandomFaultPlan(seed, len(plan.DSQL.Steps), a.Shell.Topology.ComputeNodes)
+	db.SetFaultPlan(faults)
+	db.SetResilience(maxRetries, 0)
+	db.SetParallelism(par)
+	a.RetryBackoff = 50 * time.Microsecond
+
+	res, err := runRecovered(db, plan)
+
+	if leaks := leakedTables(db); len(leaks) > 0 {
+		return fmt.Errorf("%s: leaked tables after chaos run (seed %d): %v", c.Name, seed, leaks)
+	}
+
+	if err != nil {
+		var se *pdwqo.StepError
+		if !errors.As(err, &se) {
+			return fmt.Errorf("%s: chaos failure (seed %d) is not a typed StepError: %w", c.Name, seed, err)
+		}
+		return nil // clean typed failure is an accepted outcome
+	}
+	if derr := diffResults(c.Name, par, ref, res); derr != nil {
+		return fmt.Errorf("chaos (seed %d, %d faults fired, retries %d): %w",
+			seed, faults.Fired(), maxRetries, derr)
+	}
+	return nil
+}
+
+// runRecovered executes the plan, converting any panic into an error so
+// the harness can report it as a contract violation instead of dying.
+func runRecovered(db *pdwqo.DB, plan *pdwqo.QueryPlan) (res *pdwqo.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicError{fmt.Sprintf("panic under injected faults: %v", r)}
+		}
+	}()
+	return db.ExecutePlan(plan)
+}
+
+// panicError deliberately does not unwrap to *StepError, so a recovered
+// panic always fails the typed-error assertion.
+type panicError struct{ msg string }
+
+func (e panicError) Error() string { return e.msg }
+
+// leakedTables scans every node for temp or staging tables; after any
+// execution — successful, failed or retried — there must be none.
+func leakedTables(db *pdwqo.DB) []string {
+	a := db.Appliance()
+	var leaks []string
+	check := func(nodeID int, names []string) {
+		for _, n := range names {
+			if strings.HasPrefix(n, "TEMP") || strings.Contains(n, "__stage") {
+				leaks = append(leaks, fmt.Sprintf("node %d: %s", nodeID, n))
+			}
+		}
+	}
+	check(a.Control.ID, a.Control.DB.Names())
+	for _, n := range a.Compute {
+		check(n.ID, n.DB.Names())
+	}
+	return leaks
+}

@@ -1,0 +1,59 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTPCHChaos sweeps the TPC-H corpus under seeded random fault plans
+// on every topology: retried queries must reproduce the fault-free
+// serial reference byte-for-byte, exhausted-retry queries must fail with
+// a typed StepError, and no run may panic or leak temp tables. Every
+// third case runs with retries disabled so the exhausted path is
+// exercised on every topology.
+func TestTPCHChaos(t *testing.T) {
+	topologies := []int{1, 2, 4, 8}
+	if testing.Short() {
+		topologies = []int{4}
+	}
+	if raceEnabled {
+		topologies = []int{8}
+	}
+	for _, nodes := range topologies {
+		nodes := nodes
+		t.Run(fmt.Sprintf("nodes-%d", nodes), func(t *testing.T) {
+			db := openAppliance(t, nodes)
+			for i, c := range TPCHCases() {
+				i, c := i, c
+				t.Run(c.Name, func(t *testing.T) {
+					seed := int64(nodes*1000 + i)
+					retries := 3
+					if i%3 == 2 {
+						retries = 0
+					}
+					if err := Chaos(db, c, 8, seed, retries); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestFuzzChaos runs a slice of the random corpus through the chaos
+// contract on the 4-node appliance — the fuzz shapes reach plans (IN
+// lists, DISTINCT heads) the TPC-H suite doesn't.
+func TestFuzzChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz chaos skipped in -short mode")
+	}
+	db := openAppliance(t, 4)
+	for i, c := range FuzzCases(12, 20260806) {
+		i, c := i, c
+		t.Run(c.Name, func(t *testing.T) {
+			if err := Chaos(db, c, 8, int64(9000+i), 2); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -43,6 +43,11 @@ type Step struct {
 	// Where describes which nodes run the SQL: the placement of the
 	// segment's inputs.
 	Where core.DistKind
+	// Idempotent marks steps the engine may retry after a transient
+	// failure (carried from core.Option.Idempotent): move steps rerun
+	// safely once their partial temp table is dropped, while the Return
+	// step streams to the client and cannot be replayed.
+	Idempotent bool
 
 	// Move fields (StepMove only).
 	MoveKind cost.MoveKind
@@ -132,8 +137,11 @@ func Generate(plan *core.Plan, finalCols []algebra.ColumnMeta) (*Plan, error) {
 		Kind:  StepReturn,
 		SQL:   final,
 		Where: root.Dist.Kind,
-		Rows:  root.Rows,
-		Width: root.Width,
+		// The Return step streams rows to the client as they merge;
+		// replaying it would duplicate delivered rows.
+		Idempotent: false,
+		Rows:       root.Rows,
+		Width:      root.Width,
 	})
 	g.plan.OutCols = finalCols
 	g.plan.OrderBy = orderBy
@@ -433,17 +441,18 @@ func (g *generator) emitMove(o *core.Option) (string, error) {
 		hashCol = colName(o.Move.Col)
 	}
 	g.plan.Steps = append(g.plan.Steps, Step{
-		ID:       len(g.plan.Steps),
-		Kind:     StepMove,
-		SQL:      sql,
-		Where:    src.Dist.Kind,
-		MoveKind: o.Move.Kind,
-		HashCol:  hashCol,
-		Dest:     dest,
-		DestCols: destCols,
-		Rows:     o.Rows,
-		Width:    o.Width,
-		MoveCost: o.DMSCost - src.DMSCost,
+		ID:         len(g.plan.Steps),
+		Kind:       StepMove,
+		SQL:        sql,
+		Where:      src.Dist.Kind,
+		Idempotent: o.Idempotent(),
+		MoveKind:   o.Move.Kind,
+		HashCol:    hashCol,
+		Dest:       dest,
+		DestCols:   destCols,
+		Rows:       o.Rows,
+		Width:      o.Width,
+		MoveCost:   o.DMSCost - src.DMSCost,
 	})
 	g.steps[o] = dest
 	return dest, nil

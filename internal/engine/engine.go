@@ -15,6 +15,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -57,12 +58,43 @@ type StepMetric struct {
 type Metrics struct {
 	mu    sync.Mutex
 	Steps []StepMetric
+	// retries counts step attempts beyond the first; faults counts
+	// injected faults that fired. Both live under mu — fault sites run
+	// concurrently on the worker pool.
+	retries int64
+	faults  int64
 }
 
 func (m *Metrics) add(s StepMetric) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.Steps = append(m.Steps, s)
+}
+
+func (m *Metrics) addRetry() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retries++
+}
+
+func (m *Metrics) addFault() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faults++
+}
+
+// RetryCount returns how many step re-executions the retry layer issued.
+func (m *Metrics) RetryCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retries
+}
+
+// FaultCount returns how many injected faults fired on this appliance.
+func (m *Metrics) FaultCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.faults
 }
 
 // TotalBytesMoved sums DMS bytes across steps.
@@ -113,6 +145,55 @@ type Appliance struct {
 	// default 0 keeps tests exact; experiments set it to make node-overlap
 	// speedups observable regardless of host core count.
 	NodeLatency time.Duration
+
+	// MaxRetries is how many times a failed idempotent step is re-executed
+	// after its partial temp table is cleaned up. 0 disables retries.
+	// Non-idempotent steps (Return) and deterministic failures (exec
+	// errors) never retry regardless.
+	MaxRetries int
+	// StepTimeout bounds each step attempt; the attempt's context is
+	// cancelled at the deadline and the failure classifies as
+	// ErrKindTimeout (retryable). 0 disables the bound.
+	StepTimeout time.Duration
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// subsequent retry, capped at maxRetryBackoff. 0 means defaultBackoff.
+	RetryBackoff time.Duration
+	// Faults is the active fault-injection plan; nil injects nothing.
+	Faults *FaultPlan
+
+	// sleep waits between retry attempts; tests swap in a fake clock so
+	// backoff arithmetic is assertable without real time passing.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Backoff bounds: the first retry waits RetryBackoff (or defaultBackoff),
+// doubling per retry up to maxRetryBackoff.
+const (
+	defaultBackoff  = time.Millisecond
+	maxRetryBackoff = 250 * time.Millisecond
+)
+
+// backoffDelay is the capped exponential wait before retry `attempt`
+// (attempt 1 = first retry): base·2^(attempt−1), clamped to max.
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = defaultBackoff
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+func (a *Appliance) sleepFn(ctx context.Context, d time.Duration) error {
+	if a.sleep != nil {
+		return a.sleep(ctx, d)
+	}
+	return sleepCtx(ctx, d)
 }
 
 // New builds an appliance for the shell's topology with empty storage.
@@ -137,13 +218,21 @@ func (a *Appliance) LoadTable(name string, rows []types.Row) error {
 		return fmt.Errorf("engine: unknown table %q", name)
 	}
 	ctx := context.Background()
-	if err := parallelFor(ctx, len(a.Compute), a.workers(len(a.Compute)), func(_ context.Context, i int) error {
+	// Loads run outside any DSQL step; fault rules address them with
+	// op=load (step/move wildcards only).
+	if err := parallelFor(ctx, len(a.Compute), a.workers(len(a.Compute)), func(ctx context.Context, i int) error {
+		if _, serr := a.injectFault(ctx, OpLoad, loadStepID, a.Compute[i].ID, Any); serr != nil {
+			return serr
+		}
 		return a.Compute[i].DB.Create(tbl.Name, tbl.Columns)
 	}); err != nil {
 		return err
 	}
 	if tbl.Dist.Kind == catalog.DistReplicated {
-		return parallelFor(ctx, len(a.Compute), a.workers(len(a.Compute)), func(_ context.Context, i int) error {
+		return parallelFor(ctx, len(a.Compute), a.workers(len(a.Compute)), func(ctx context.Context, i int) error {
+			if _, serr := a.injectFault(ctx, OpLoad, loadStepID, a.Compute[i].ID, Any); serr != nil {
+				return serr
+			}
 			return a.Compute[i].DB.BulkInsert(tbl.Name, rows)
 		})
 	}
@@ -153,10 +242,17 @@ func (a *Appliance) LoadTable(name string, rows []types.Row) error {
 		n := int(types.Hash(r[ci]) % uint64(len(a.Compute)))
 		buckets[n] = append(buckets[n], r)
 	}
-	return parallelFor(ctx, len(a.Compute), a.workers(len(a.Compute)), func(_ context.Context, i int) error {
+	return parallelFor(ctx, len(a.Compute), a.workers(len(a.Compute)), func(ctx context.Context, i int) error {
+		if _, serr := a.injectFault(ctx, OpLoad, loadStepID, a.Compute[i].ID, Any); serr != nil {
+			return serr
+		}
 		return a.Compute[i].DB.BulkInsert(tbl.Name, buckets[i])
 	})
 }
+
+// loadStepID is the pseudo step ID table loads report in StepErrors;
+// only step-wildcard fault rules match it.
+const loadStepID = -1
 
 // Result is the client-visible query result.
 type Result struct {
@@ -186,34 +282,129 @@ func (a *Appliance) ExecuteContext(ctx context.Context, p *dsql.Plan) (*Result, 
 	var tempNames []string
 	defer func() {
 		for _, name := range tempNames {
-			a.Control.DB.Drop(name)
-			for _, n := range a.Compute {
-				n.DB.Drop(name)
-			}
+			a.dropEverywhere(name)
 		}
 	}()
 
 	for _, step := range p.Steps {
-		start := time.Now()
-		tree, err := a.compile(step.SQL, session)
+		res, err := a.runStep(ctx, step, p, session, &tempNames)
 		if err != nil {
-			return nil, fmt.Errorf("engine: step %d: %w", step.ID, err)
+			return nil, err
 		}
-		switch step.Kind {
-		case dsql.StepMove:
-			if err := a.executeMove(ctx, step, tree, session, &tempNames, start); err != nil {
-				return nil, fmt.Errorf("engine: step %d: %w", step.ID, err)
-			}
-		case dsql.StepReturn:
-			rel, err := a.executeReturn(ctx, step, tree, p, start)
-			if err != nil {
-				return nil, fmt.Errorf("engine: step %d: %w", step.ID, err)
-			}
-			return rel, nil
+		if res != nil {
+			return res, nil
 		}
 	}
 	return nil, fmt.Errorf("engine: plan has no return step")
 }
+
+// runStep executes one DSQL step under the retry policy: idempotent
+// steps get up to 1+MaxRetries attempts at transient failures (injected
+// faults, corrupt deliveries, timeouts), with capped exponential backoff
+// between attempts and the partial temp table dropped before each rerun.
+// Deterministic failures, non-idempotent steps and exhausted budgets
+// surface a *StepError. A non-nil Result means the plan is done.
+func (a *Appliance) runStep(ctx context.Context, step dsql.Step, p *dsql.Plan, session *catalog.Shell, tempNames *[]string) (*Result, error) {
+	// Compilation is deterministic — the same SQL fails the same way — so
+	// it runs once, outside the retry loop.
+	tree, err := a.compile(step.SQL, session)
+	if err != nil {
+		return nil, stepError(step.ID, NoNode, ErrKindExec, err)
+	}
+	maxAttempts := 1
+	if step.Idempotent && a.MaxRetries > 0 {
+		maxAttempts += a.MaxRetries
+	}
+	var last *StepError
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			a.Metrics.addRetry()
+			if err := a.sleepFn(ctx, backoffDelay(a.RetryBackoff, maxRetryBackoff, attempt)); err != nil {
+				break
+			}
+		}
+		res, serr := a.attemptStep(ctx, step, tree, p, session, tempNames)
+		if serr == nil {
+			return res, nil
+		}
+		serr.Attempt = attempt
+		last = serr
+		if step.Kind == dsql.StepMove {
+			// A failed move may have staged or published partial rows on
+			// any subset of nodes; drop both names everywhere so the next
+			// attempt (or the caller) sees a clean appliance.
+			a.dropEverywhere(step.Dest)
+			a.dropEverywhere(stagingName(step.Dest))
+		}
+		if !serr.Retryable() {
+			break
+		}
+	}
+	return nil, last
+}
+
+// attemptStep runs one attempt of a step under the per-attempt timeout
+// and classifies any failure.
+func (a *Appliance) attemptStep(ctx context.Context, step dsql.Step, tree *algebra.Tree, p *dsql.Plan, session *catalog.Shell, tempNames *[]string) (*Result, *StepError) {
+	actx := ctx
+	if a.StepTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, a.StepTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	var res *Result
+	var err error
+	switch step.Kind {
+	case dsql.StepMove:
+		err = a.executeMove(actx, step, tree, session, tempNames, start)
+	case dsql.StepReturn:
+		res, err = a.executeReturn(actx, step, tree, p, start)
+	default:
+		err = fmt.Errorf("unknown step kind %d", step.Kind)
+	}
+	if err == nil {
+		return res, nil
+	}
+	return nil, classify(step.ID, actx, ctx, err)
+}
+
+// classify turns an attempt's failure into a *StepError, distinguishing
+// the attempt deadline (timeout, retryable) from caller cancellation
+// (not retryable) and deterministic execution errors.
+func classify(stepID int, attemptCtx, parentCtx context.Context, err error) *StepError {
+	timedOut := errors.Is(attemptCtx.Err(), context.DeadlineExceeded) && parentCtx.Err() == nil
+	var se *StepError
+	if errors.As(err, &se) {
+		if timedOut && se.Kind == ErrKindCancelled {
+			// A fault-site sleep interrupted by the attempt deadline is a
+			// step timeout, not a caller cancel.
+			se.Kind = ErrKindTimeout
+		}
+		return se
+	}
+	switch {
+	case timedOut:
+		return stepError(stepID, NoNode, ErrKindTimeout, err)
+	case parentCtx.Err() != nil:
+		return stepError(stepID, NoNode, ErrKindCancelled, err)
+	default:
+		return stepError(stepID, NoNode, ErrKindExec, err)
+	}
+}
+
+// dropEverywhere removes a temp table from the control node and every
+// compute node.
+func (a *Appliance) dropEverywhere(name string) {
+	a.Control.DB.Drop(name)
+	for _, n := range a.Compute {
+		n.DB.Drop(name)
+	}
+}
+
+// stagingName is where a DMS delivery accumulates rows before the
+// publishing rename; it shares the destination's temp-table lifecycle.
+func stagingName(dest string) string { return dest + "__stage" }
 
 // compile parses, binds and normalizes a DSQL step's SQL text — the role
 // of each node's local SQL instance compilation.
@@ -255,8 +446,9 @@ func (a *Appliance) sourceNodes(step dsql.Step) []*Node {
 
 // runOnNodes executes the compiled tree on each node, fanned out over the
 // appliance's worker pool. Results keep node order; the first failing
-// node's error cancels the remaining tasks.
-func (a *Appliance) runOnNodes(ctx context.Context, tree *algebra.Tree, nodes []*Node) ([]*exec.Relation, error) {
+// node's error cancels the remaining tasks. stepID and move address the
+// per-node fault-injection site (move is Any for non-move steps).
+func (a *Appliance) runOnNodes(ctx context.Context, stepID, move int, tree *algebra.Tree, nodes []*Node) ([]*exec.Relation, error) {
 	// The step tree is shared by every node's executor, and Tree.OutputCols
 	// memoizes lazily; derive the full schema cache here, before the
 	// fan-out, so the workers only ever read it.
@@ -265,6 +457,9 @@ func (a *Appliance) runOnNodes(ctx context.Context, tree *algebra.Tree, nodes []
 	err := parallelFor(ctx, len(nodes), a.workers(len(nodes)), func(ctx context.Context, i int) error {
 		simulateLatency(ctx, a.NodeLatency)
 		n := nodes[i]
+		if _, serr := a.injectFault(ctx, OpQuery, stepID, n.ID, move); serr != nil {
+			return serr
+		}
 		src := func(name string) ([]types.Row, []string, error) {
 			t := n.DB.Table(name)
 			if t == nil {
@@ -278,7 +473,9 @@ func (a *Appliance) runOnNodes(ctx context.Context, tree *algebra.Tree, nodes []
 		}
 		rel, err := exec.Run(tree, src)
 		if err != nil {
-			return err
+			// Node-local evaluation failures are deterministic: attribute
+			// the node but classify as exec (not retryable).
+			return stepError(stepID, n.ID, ErrKindExec, err)
 		}
 		rels[i] = rel
 		return nil
@@ -295,30 +492,41 @@ type batch struct {
 	rows []types.Row
 }
 
+// corruptRows models a DMS payload garbled in transit: the staged copy
+// duplicates every row, so any row-count or checksum verification fails.
+// The garbage only ever exists in a staging table.
+func corruptRows(rows []types.Row) []types.Row {
+	out := make([]types.Row, 0, 2*len(rows))
+	out = append(out, rows...)
+	out = append(out, rows...)
+	return out
+}
+
 // executeMove runs the step SQL on the source nodes and routes rows per
 // the DMS operation into the destination temp table. Routing is computed
 // per source relation and inserted per destination node, both on the
 // worker pool; the merged row order is independent of scheduling (source
 // order within each destination), so parallel and serial execution
 // materialize byte-identical temp tables.
+//
+// Delivery is transactional: rows accumulate in a per-node staging table
+// that is renamed to the destination only after every batch lands, so a
+// mid-shuffle failure never leaves a half-populated destination visible
+// to later steps — the retry path drops the staging leftovers and reruns.
 func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algebra.Tree, session *catalog.Shell, tempNames *[]string, start time.Time) error {
 	sources := a.sourceNodes(step)
-	rels, err := a.runOnNodes(ctx, tree, sources)
+	rels, err := a.runOnNodes(ctx, step.ID, int(step.MoveKind), tree, sources)
 	if err != nil {
 		return err
 	}
-	// Destination setup.
+	// Destination setup: create the staging table on each receiving node.
+	staging := stagingName(step.Dest)
 	destNodes, destDist := a.destFor(step)
-	if err := parallelFor(ctx, len(destNodes), a.workers(len(destNodes)), func(_ context.Context, i int) error {
-		return destNodes[i].DB.Create(step.Dest, step.DestCols)
-	}); err != nil {
-		return err
-	}
-	*tempNames = append(*tempNames, step.Dest)
-	if err := session.AddTable(&catalog.Table{
-		Name:    step.Dest,
-		Columns: step.DestCols,
-		Dist:    destDist,
+	if err := parallelFor(ctx, len(destNodes), a.workers(len(destNodes)), func(ctx context.Context, i int) error {
+		if _, serr := a.injectFault(ctx, OpCreate, step.ID, destNodes[i].ID, int(step.MoveKind)); serr != nil {
+			return serr
+		}
+		return destNodes[i].DB.Create(staging, step.DestCols)
 	}); err != nil {
 		return err
 	}
@@ -422,18 +630,28 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 		return fmt.Errorf("unsupported move kind %v", step.MoveKind)
 	}
 
-	// Deliver every batch on the worker pool, tallying per destination so
-	// the step metric aggregates race-free and deterministically.
+	// Deliver every batch into staging on the worker pool, tallying per
+	// destination so the step metric aggregates race-free and
+	// deterministically.
 	type tally struct{ rows, bytes int64 }
 	tallies := make([]tally, len(batches))
 	if err := parallelFor(ctx, len(batches), a.workers(len(batches)), func(ctx context.Context, i int) error {
 		simulateLatency(ctx, a.NodeLatency)
+		if f, serr := a.injectFault(ctx, OpDeliver, step.ID, batches[i].node.ID, int(step.MoveKind)); serr != nil {
+			if f.Kind == FaultCorrupt {
+				// Model a payload garbled in transit and caught by
+				// verification: the garbage lands in staging, which is
+				// never published and is dropped on the retry path.
+				_ = batches[i].node.DB.BulkInsert(staging, corruptRows(batches[i].rows))
+			}
+			return serr
+		}
 		var b int64
 		for _, r := range batches[i].rows {
 			b += int64(r.Width())
 		}
 		tallies[i] = tally{rows: int64(len(batches[i].rows)), bytes: b}
-		return batches[i].node.DB.BulkInsert(step.Dest, batches[i].rows)
+		return batches[i].node.DB.BulkInsert(staging, batches[i].rows)
 	}); err != nil {
 		return err
 	}
@@ -444,6 +662,22 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 		if t.bytes > maxNode {
 			maxNode = t.bytes
 		}
+	}
+
+	// Publish: every batch landed, so rename staging to the destination
+	// and only then register the temp table for later steps and cleanup.
+	if err := parallelFor(ctx, len(destNodes), a.workers(len(destNodes)), func(_ context.Context, i int) error {
+		return destNodes[i].DB.Rename(staging, step.Dest)
+	}); err != nil {
+		return err
+	}
+	*tempNames = append(*tempNames, step.Dest)
+	if err := session.AddTable(&catalog.Table{
+		Name:    step.Dest,
+		Columns: step.DestCols,
+		Dist:    destDist,
+	}); err != nil {
+		return err
 	}
 
 	a.Metrics.add(StepMetric{
@@ -474,7 +708,7 @@ func (a *Appliance) destFor(step dsql.Step) ([]*Node, catalog.Distribution) {
 // schedule.
 func (a *Appliance) executeReturn(ctx context.Context, step dsql.Step, tree *algebra.Tree, p *dsql.Plan, start time.Time) (*Result, error) {
 	sources := a.sourceNodes(step)
-	rels, err := a.runOnNodes(ctx, tree, sources)
+	rels, err := a.runOnNodes(ctx, step.ID, Any, tree, sources)
 	if err != nil {
 		return nil, err
 	}
@@ -488,9 +722,19 @@ func (a *Appliance) executeReturn(ctx context.Context, step dsql.Step, tree *alg
 	}
 	if len(p.OrderBy) > 0 {
 		keys := p.OrderBy
+		// Merge keys can mix kinds when a CASE column mixes branch types;
+		// the checked compare turns that into a step error instead of a
+		// panic mid-sort.
+		var sortErr error
 		sort.SliceStable(out.Rows, func(i, j int) bool {
 			for _, k := range keys {
-				c := types.Compare(out.Rows[i][k.Pos], out.Rows[j][k.Pos])
+				c, err := types.CompareChecked(out.Rows[i][k.Pos], out.Rows[j][k.Pos])
+				if err != nil {
+					if sortErr == nil {
+						sortErr = err
+					}
+					return false
+				}
 				if k.Desc {
 					c = -c
 				}
@@ -500,6 +744,9 @@ func (a *Appliance) executeReturn(ctx context.Context, step dsql.Step, tree *alg
 			}
 			return false
 		})
+		if sortErr != nil {
+			return nil, stepError(step.ID, NoNode, ErrKindExec, sortErr)
+		}
 	}
 	if p.Top > 0 && int64(len(out.Rows)) > p.Top {
 		out.Rows = out.Rows[:p.Top]

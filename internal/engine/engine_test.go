@@ -247,10 +247,11 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
-// handStep builds a move step for direct engine testing.
+// handStep builds a move step for direct engine testing. Move steps are
+// idempotent, matching what dsql.Generate emits.
 func handStep(id int, kind cost.MoveKind, where core.DistKind, sql, dest, hashCol string, cols []catalog.Column) dsql.Step {
 	return dsql.Step{
-		ID: id, Kind: dsql.StepMove, MoveKind: kind, Where: where,
+		ID: id, Kind: dsql.StepMove, MoveKind: kind, Where: where, Idempotent: true,
 		SQL: sql, Dest: dest, HashCol: hashCol, DestCols: cols,
 	}
 }

@@ -81,6 +81,23 @@ func parallelFor(ctx context.Context, n, w int, fn func(ctx context.Context, i i
 	return nil
 }
 
+// sleepCtx waits for d unless the context ends first, returning the
+// context's error in that case. It backs retry backoff and slow faults,
+// so a step timeout or caller cancel cuts both short.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // simulateLatency models the control-node → compute-node dispatch round
 // trip of one step (network hop + remote statement setup). It returns
 // early if the step was cancelled by another node's failure.

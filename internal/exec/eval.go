@@ -51,7 +51,11 @@ func Eval(e algebra.Scalar, env *Env) (types.Value, error) {
 		if err != nil || v.IsNull() {
 			return types.Null, err
 		}
-		return types.NewBool(!v.Bool()), nil
+		b, err := v.AsBool()
+		if err != nil {
+			return types.Null, fmt.Errorf("exec: NOT operand: %w", err)
+		}
+		return types.NewBool(!b), nil
 
 	case *algebra.Neg:
 		v, err := Eval(x.E, env)
@@ -72,7 +76,11 @@ func Eval(e algebra.Scalar, env *Env) (types.Value, error) {
 		if err != nil || v.IsNull() {
 			return types.Null, err
 		}
-		m := normalize.MatchLike(v.Str(), x.Pattern)
+		s, err := v.AsStr()
+		if err != nil {
+			return types.Null, fmt.Errorf("exec: LIKE operand: %w", err)
+		}
+		m := normalize.MatchLike(s, x.Pattern)
 		return types.NewBool(m != x.Negated), nil
 
 	case *algebra.InList:
@@ -119,7 +127,14 @@ func Eval(e algebra.Scalar, env *Env) (types.Value, error) {
 			if err != nil {
 				return types.Null, err
 			}
-			if !c.IsNull() && c.Bool() {
+			if c.IsNull() {
+				continue
+			}
+			b, err := c.AsBool()
+			if err != nil {
+				return types.Null, fmt.Errorf("exec: CASE condition: %w", err)
+			}
+			if b {
 				return Eval(w.Then, env)
 			}
 		}
@@ -144,40 +159,40 @@ func evalBinary(x *algebra.Binary, env *Env) (types.Value, error) {
 	// AND/OR need three-valued short-circuit handling.
 	switch x.Op {
 	case sqlparser.OpAnd:
-		l, err := Eval(x.L, env)
+		lb, lnull, err := evalBool(x.L, env)
 		if err != nil {
 			return types.Null, err
 		}
-		if !l.IsNull() && !l.Bool() {
+		if !lnull && !lb {
 			return types.NewBool(false), nil
 		}
-		r, err := Eval(x.R, env)
+		rb, rnull, err := evalBool(x.R, env)
 		if err != nil {
 			return types.Null, err
 		}
-		if !r.IsNull() && !r.Bool() {
+		if !rnull && !rb {
 			return types.NewBool(false), nil
 		}
-		if l.IsNull() || r.IsNull() {
+		if lnull || rnull {
 			return types.Null, nil
 		}
 		return types.NewBool(true), nil
 	case sqlparser.OpOr:
-		l, err := Eval(x.L, env)
+		lb, lnull, err := evalBool(x.L, env)
 		if err != nil {
 			return types.Null, err
 		}
-		if !l.IsNull() && l.Bool() {
+		if !lnull && lb {
 			return types.NewBool(true), nil
 		}
-		r, err := Eval(x.R, env)
+		rb, rnull, err := evalBool(x.R, env)
 		if err != nil {
 			return types.Null, err
 		}
-		if !r.IsNull() && r.Bool() {
+		if !rnull && rb {
 			return types.NewBool(true), nil
 		}
-		if l.IsNull() || r.IsNull() {
+		if lnull || rnull {
 			return types.Null, nil
 		}
 		return types.NewBool(false), nil
@@ -257,5 +272,32 @@ func CastValue(v types.Value, to types.Kind) (types.Value, error) {
 	return types.Null, fmt.Errorf("exec: cannot cast %s to %s", v.Kind(), to)
 }
 
-// Truthy applies SQL predicate semantics: NULL counts as false.
+// evalBool evaluates a logical operand into three-valued form: the
+// boolean, whether it was NULL, and a typed error when the operand is not
+// a BIT (reachable from expressions like `1 AND x`).
+func evalBool(e algebra.Scalar, env *Env) (b, isNull bool, err error) {
+	v, err := Eval(e, env)
+	if err != nil {
+		return false, false, err
+	}
+	if v.IsNull() {
+		return false, true, nil
+	}
+	b, err = v.AsBool()
+	return b, false, err
+}
+
+// Truthy applies SQL predicate semantics: NULL counts as false. It
+// panics on non-BIT values — use it only where the value's kind is
+// already proven; runtime predicates go through TruthyChecked.
 func Truthy(v types.Value) bool { return !v.IsNull() && v.Bool() }
+
+// TruthyChecked is Truthy with the kind check surfaced as an error:
+// predicates over user expressions (e.g. `WHERE c_custkey`) can evaluate
+// to non-BIT values, which must fail the query, not crash the node.
+func TruthyChecked(v types.Value) (bool, error) {
+	if v.IsNull() {
+		return false, nil
+	}
+	return v.AsBool()
+}

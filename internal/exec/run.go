@@ -118,7 +118,11 @@ func runFilter(op *algebra.Select, in *Relation) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		if Truthy(v) {
+		keep, err := TruthyChecked(v)
+		if err != nil {
+			return nil, fmt.Errorf("exec: WHERE predicate: %w", err)
+		}
+		if keep {
 			out.Rows = append(out.Rows, r)
 		}
 	}
@@ -258,7 +262,11 @@ func hashJoin(op *algebra.Join, l, r *Relation, lKeys, rKeys []int, residual alg
 					if err != nil {
 						return nil, err
 					}
-					if !Truthy(v) {
+					ok, err := TruthyChecked(v)
+					if err != nil {
+						return nil, fmt.Errorf("exec: join predicate: %w", err)
+					}
+					if !ok {
 						continue
 					}
 				}
@@ -325,7 +333,11 @@ func loopJoin(op *algebra.Join, l, r *Relation, on algebra.Scalar, outCols []alg
 				if err != nil {
 					return nil, err
 				}
-				if !Truthy(v) {
+				ok, err := TruthyChecked(v)
+				if err != nil {
+					return nil, fmt.Errorf("exec: join predicate: %w", err)
+				}
+				if !ok {
 					continue
 				}
 			}
@@ -421,11 +433,21 @@ func (s *aggState) add(env *Env) error {
 			s.sum = sum
 		}
 	case algebra.AggMin:
-		if s.min.IsNull() || types.Compare(v, s.min) < 0 {
+		// MIN/MAX arguments can mix kinds (CASE branches of different
+		// types), so the comparison is checked, not trusted.
+		if s.min.IsNull() {
+			s.min = v
+		} else if c, err := types.CompareChecked(v, s.min); err != nil {
+			return fmt.Errorf("exec: MIN argument: %w", err)
+		} else if c < 0 {
 			s.min = v
 		}
 	case algebra.AggMax:
-		if s.max.IsNull() || types.Compare(v, s.max) > 0 {
+		if s.max.IsNull() {
+			s.max = v
+		} else if c, err := types.CompareChecked(v, s.max); err != nil {
+			return fmt.Errorf("exec: MAX argument: %w", err)
+		} else if c > 0 {
 			s.max = v
 		}
 	}
@@ -535,9 +557,19 @@ func runSort(op *algebra.Sort, in *Relation) (*Relation, error) {
 		}
 	}
 	rows := append([]types.Row{}, in.Rows...)
+	// Sort keys over user expressions can mix kinds across rows; the
+	// checked compare collects the first mismatch and fails the sort
+	// instead of panicking mid-comparison.
+	var sortErr error
 	sort.SliceStable(rows, func(i, j int) bool {
 		for ki, p := range keyPos {
-			c := types.Compare(rows[i][p], rows[j][p])
+			c, err := types.CompareChecked(rows[i][p], rows[j][p])
+			if err != nil {
+				if sortErr == nil {
+					sortErr = err
+				}
+				return false
+			}
 			if op.Keys[ki].Desc {
 				c = -c
 			}
@@ -547,6 +579,9 @@ func runSort(op *algebra.Sort, in *Relation) (*Relation, error) {
 		}
 		return false
 	})
+	if sortErr != nil {
+		return nil, fmt.Errorf("exec: ORDER BY key: %w", sortErr)
+	}
 	if op.Top > 0 && int64(len(rows)) > op.Top {
 		rows = rows[:op.Top]
 	}
@@ -554,14 +589,22 @@ func runSort(op *algebra.Sort, in *Relation) (*Relation, error) {
 }
 
 // SortRows orders rows by (position, desc) merge keys; shared with the
-// control node's final merge.
+// control node's final merge. It reports the first incomparable key pair
+// instead of panicking.
 func SortRows(rows []types.Row, keys []struct {
 	Pos  int
 	Desc bool
-}) {
+}) error {
+	var sortErr error
 	sort.SliceStable(rows, func(i, j int) bool {
 		for _, k := range keys {
-			c := types.Compare(rows[i][k.Pos], rows[j][k.Pos])
+			c, err := types.CompareChecked(rows[i][k.Pos], rows[j][k.Pos])
+			if err != nil {
+				if sortErr == nil {
+					sortErr = err
+				}
+				return false
+			}
 			if k.Desc {
 				c = -c
 			}
@@ -571,6 +614,7 @@ func SortRows(rows []types.Row, keys []struct {
 		}
 		return false
 	})
+	return sortErr
 }
 
 func equalFold(a, b string) bool {

@@ -307,11 +307,20 @@ func isContradiction(f algebra.Scalar) bool {
 			b.eq, b.hasEq = v, true
 		case sqlparser.OpGt, sqlparser.OpGe:
 			incl := op == sqlparser.OpGe
+			// Mixed-kind bounds (e.g. `c > 1 AND c > 'x'`) come straight
+			// from user literals; keep the existing bound rather than
+			// comparing incomparable values.
+			if b.hasLo && !types.Comparable(v.Kind(), b.lo.Kind()) {
+				continue
+			}
 			if !b.hasLo || types.Compare(v, b.lo) > 0 || (types.Compare(v, b.lo) == 0 && !incl) {
 				b.lo, b.loIncl, b.hasLo = v, incl, true
 			}
 		case sqlparser.OpLt, sqlparser.OpLe:
 			incl := op == sqlparser.OpLe
+			if b.hasHi && !types.Comparable(v.Kind(), b.hi.Kind()) {
+				continue
+			}
 			if !b.hasHi || types.Compare(v, b.hi) < 0 || (types.Compare(v, b.hi) == 0 && !incl) {
 				b.hi, b.hiIncl, b.hasHi = v, incl, true
 			}
@@ -322,13 +331,12 @@ func isContradiction(f algebra.Scalar) bool {
 			return true
 		}
 		if b.hasEq {
-			if b.hasLo && !types.Comparable(b.eq.Kind(), b.lo.Kind()) {
-				continue
-			}
-			if b.hasLo && (types.Compare(b.eq, b.lo) < 0 || (types.Compare(b.eq, b.lo) == 0 && !b.loIncl)) {
+			if b.hasLo && types.Comparable(b.eq.Kind(), b.lo.Kind()) &&
+				(types.Compare(b.eq, b.lo) < 0 || (types.Compare(b.eq, b.lo) == 0 && !b.loIncl)) {
 				return true
 			}
-			if b.hasHi && (types.Compare(b.eq, b.hi) > 0 || (types.Compare(b.eq, b.hi) == 0 && !b.hiIncl)) {
+			if b.hasHi && types.Comparable(b.eq.Kind(), b.hi.Kind()) &&
+				(types.Compare(b.eq, b.hi) > 0 || (types.Compare(b.eq, b.hi) == 0 && !b.hiIncl)) {
 				return true
 			}
 		}

@@ -34,7 +34,13 @@ func (c *Column) SelectivityEq(v types.Value) float64 {
 	if nonNull <= 0 {
 		return 0
 	}
-	if !c.Min.IsNull() && types.Comparable(v.Kind(), c.Min.Kind()) {
+	// A literal of a kind incomparable with the column (reachable from
+	// user-supplied IN lists like `intcol IN ('x')`) gets the default
+	// selectivity — the histogram below assumes comparable bounds.
+	if !c.Min.IsNull() && !types.Comparable(v.Kind(), c.Min.Kind()) {
+		return DefaultEqSel
+	}
+	if !c.Min.IsNull() {
 		if types.Compare(v, c.Min) < 0 || types.Compare(v, c.Max) > 0 {
 			return 0
 		}

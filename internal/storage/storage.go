@@ -54,6 +54,27 @@ func (db *DB) Drop(name string) {
 	delete(db.tables, strings.ToLower(name))
 }
 
+// Rename atomically republishes a table under a new name — the publish
+// half of the engine's stage-then-rename DMS delivery. Renaming a missing
+// table or onto an existing name fails, so a retried delivery must drop
+// its leftovers first.
+func (db *DB) Rename(oldName, newName string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	oldKey, newKey := strings.ToLower(oldName), strings.ToLower(newName)
+	t, ok := db.tables[oldKey]
+	if !ok {
+		return fmt.Errorf("storage: unknown table %q", oldName)
+	}
+	if _, ok := db.tables[newKey]; ok {
+		return fmt.Errorf("storage: table %q already exists", newName)
+	}
+	delete(db.tables, oldKey)
+	t.Name = newName
+	db.tables[newKey] = t
+	return nil
+}
+
 // BulkInsert appends rows, metering bytes (the SQLBlkCpy component of the
 // paper's Figure 5).
 func (db *DB) BulkInsert(name string, rows []types.Row) error {

@@ -99,3 +99,36 @@ func TestConcurrentReadsDuringWrites(t *testing.T) {
 		t.Errorf("rows after concurrent writes: %d", len(rows))
 	}
 }
+
+func TestRename(t *testing.T) {
+	db := NewDB()
+	if err := db.Create("t__stage", cols()); err != nil {
+		t.Fatal(err)
+	}
+	rows := []types.Row{{types.NewInt(1), types.NewString("x")}}
+	if err := db.BulkInsert("t__stage", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Rename("missing", "t"); err == nil {
+		t.Error("renaming an unknown table must fail")
+	}
+	if err := db.Create("occupied", cols()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Rename("t__stage", "occupied"); err == nil {
+		t.Error("renaming over an existing table must fail")
+	}
+	if err := db.Rename("T__STAGE", "t"); err != nil { // case-insensitive source
+		t.Fatal(err)
+	}
+	got, err := db.Scan("t")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("renamed table rows: %v %v", got, err)
+	}
+	if _, err := db.Scan("t__stage"); err == nil {
+		t.Error("old name must be gone after rename")
+	}
+	if tbl := db.Table("t"); tbl == nil || tbl.Name != "t" {
+		t.Errorf("table record must carry the new name: %+v", tbl)
+	}
+}

@@ -140,6 +140,23 @@ func MustParseDate(s string) Value {
 	return v
 }
 
+// KindError is the typed failure of a checked accessor or comparison: a
+// value of Kind was used where Want was required. Expressions over
+// user-supplied literals can reach these mismatches at runtime (e.g. a
+// CASE whose branches yield different kinds), so the engine-facing entry
+// points report them as errors; the panicking accessors below remain for
+// call sites where the binder has already proven the kind.
+type KindError struct {
+	Op   string
+	Kind Kind
+	Want Kind
+}
+
+// Error renders the mismatch.
+func (e *KindError) Error() string {
+	return fmt.Sprintf("types: %s on %s (want %s)", e.Op, e.Kind, e.Want)
+}
+
 // Kind returns the value's kind.
 func (v Value) Kind() Kind { return v.kind }
 
@@ -187,6 +204,41 @@ func (v Value) DateDays() int64 {
 		panic(fmt.Sprintf("types: DateDays() on %s", v.kind))
 	}
 	return v.i
+}
+
+// AsInt is the checked form of Int for kinds decided at runtime.
+func (v Value) AsInt() (int64, error) {
+	if v.kind != KindInt {
+		return 0, &KindError{Op: "Int()", Kind: v.kind, Want: KindInt}
+	}
+	return v.i, nil
+}
+
+// AsFloat is the checked form of Float (BIGINT coerces).
+func (v Value) AsFloat() (float64, error) {
+	switch v.kind {
+	case KindFloat:
+		return v.f, nil
+	case KindInt:
+		return float64(v.i), nil
+	}
+	return 0, &KindError{Op: "Float()", Kind: v.kind, Want: KindFloat}
+}
+
+// AsStr is the checked form of Str.
+func (v Value) AsStr() (string, error) {
+	if v.kind != KindString {
+		return "", &KindError{Op: "Str()", Kind: v.kind, Want: KindString}
+	}
+	return v.s, nil
+}
+
+// AsBool is the checked form of Bool.
+func (v Value) AsBool() (bool, error) {
+	if v.kind != KindBool {
+		return false, &KindError{Op: "Bool()", Kind: v.kind, Want: KindBool}
+	}
+	return v.i != 0, nil
 }
 
 // Width returns the exact byte width of this value for cost accounting.
@@ -245,41 +297,54 @@ func escapeSQL(s string) string {
 
 // Compare orders a against b: -1, 0, or +1. NULL sorts before everything
 // (including another NULL); numeric kinds compare after float coercion.
-// Compare panics on incomparable kinds — the binder guarantees this cannot
-// happen for well-typed plans.
+// Compare panics on incomparable kinds — use it only where the binder has
+// proven both sides well-typed; runtime-kinded paths (sorting, MIN/MAX,
+// literal folding) go through CompareChecked.
 func Compare(a, b Value) int {
+	c, err := CompareChecked(a, b)
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
+}
+
+// CompareChecked is Compare returning an error instead of panicking on
+// incomparable kinds: mixed-kind data is reachable from user-supplied
+// literals (e.g. CASE branches of different types), so engine-facing
+// comparison sites must not trust the kinds.
+func CompareChecked(a, b Value) (int, error) {
 	if a.kind == KindNull || b.kind == KindNull {
 		switch {
 		case a.kind == b.kind:
-			return 0
+			return 0, nil
 		case a.kind == KindNull:
-			return -1
+			return -1, nil
 		default:
-			return 1
+			return 1, nil
 		}
 	}
 	if a.kind.Numeric() && b.kind.Numeric() {
 		if a.kind == KindInt && b.kind == KindInt {
-			return cmpOrdered(a.i, b.i)
+			return cmpOrdered(a.i, b.i), nil
 		}
-		return cmpFloat(a.Float(), b.Float())
+		return cmpFloat(a.Float(), b.Float()), nil
 	}
 	if a.kind != b.kind {
-		panic(fmt.Sprintf("types: comparing %s with %s", a.kind, b.kind))
+		return 0, fmt.Errorf("types: comparing %s with %s", a.kind, b.kind)
 	}
 	switch a.kind {
 	case KindBool, KindDate:
-		return cmpOrdered(a.i, b.i)
+		return cmpOrdered(a.i, b.i), nil
 	case KindString:
 		switch {
 		case a.s < b.s:
-			return -1
+			return -1, nil
 		case a.s > b.s:
-			return 1
+			return 1, nil
 		}
-		return 0
+		return 0, nil
 	}
-	panic(fmt.Sprintf("types: comparing %s values", a.kind))
+	return 0, fmt.Errorf("types: comparing %s values", a.kind)
 }
 
 func cmpOrdered(a, b int64) int {

@@ -1,6 +1,7 @@
 package types
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -332,5 +333,71 @@ func TestComparableMatrix(t *testing.T) {
 	}
 	if reflect.TypeOf(KindInt).Kind() != reflect.Uint8 {
 		t.Error("Kind should stay compact")
+	}
+}
+
+func TestCheckedAccessors(t *testing.T) {
+	if n, err := NewInt(7).AsInt(); err != nil || n != 7 {
+		t.Errorf("AsInt: %v %v", n, err)
+	}
+	if f, err := NewInt(7).AsFloat(); err != nil || f != 7.0 {
+		t.Errorf("AsFloat must coerce BIGINT: %v %v", f, err)
+	}
+	if s, err := NewString("x").AsStr(); err != nil || s != "x" {
+		t.Errorf("AsStr: %v %v", s, err)
+	}
+	if b, err := NewBool(true).AsBool(); err != nil || !b {
+		t.Errorf("AsBool: %v %v", b, err)
+	}
+	// Mismatches surface as *KindError carrying the actual and wanted kind.
+	for _, c := range []struct {
+		err  error
+		want Kind
+	}{
+		{func() error { _, e := NewString("x").AsInt(); return e }(), KindInt},
+		{func() error { _, e := NewString("x").AsFloat(); return e }(), KindFloat},
+		{func() error { _, e := NewInt(1).AsStr(); return e }(), KindString},
+		{func() error { _, e := Null.AsBool(); return e }(), KindBool},
+	} {
+		var ke *KindError
+		if !errors.As(c.err, &ke) {
+			t.Fatalf("want *KindError, got %v", c.err)
+		}
+		if ke.Want != c.want {
+			t.Errorf("KindError.Want = %v, want %v", ke.Want, c.want)
+		}
+		if ke.Error() == "" {
+			t.Error("KindError must render")
+		}
+	}
+}
+
+func TestCompareChecked(t *testing.T) {
+	// Agrees with Compare on comparable pairs (including NULL-first and
+	// cross-numeric coercion).
+	pairs := []struct{ a, b Value }{
+		{NewInt(1), NewInt(2)},
+		{NewInt(1), NewFloat(1.5)},
+		{Null, NewInt(1)},
+		{Null, Null},
+		{NewString("a"), NewString("b")},
+		{NewBool(false), NewBool(true)},
+		{MustParseDate("1994-01-01"), MustParseDate("1995-01-01")},
+	}
+	for _, p := range pairs {
+		got, err := CompareChecked(p.a, p.b)
+		if err != nil {
+			t.Fatalf("CompareChecked(%v, %v): %v", p.a, p.b, err)
+		}
+		if want := Compare(p.a, p.b); got != want {
+			t.Errorf("CompareChecked(%v, %v) = %d, Compare says %d", p.a, p.b, got, want)
+		}
+	}
+	// Incomparable kinds error instead of panicking.
+	if _, err := CompareChecked(NewString("x"), NewInt(1)); err == nil {
+		t.Error("string vs int must be an error")
+	}
+	if _, err := CompareChecked(MustParseDate("1994-01-01"), NewBool(true)); err == nil {
+		t.Error("date vs bool must be an error")
 	}
 }

@@ -18,6 +18,7 @@ package pdwqo
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"pdwqo/internal/algebra"
 	"pdwqo/internal/catalog"
@@ -46,7 +47,50 @@ type (
 	Lambda = cost.Lambda
 	// MoveKind enumerates the seven DMS operations of paper §3.3.2.
 	MoveKind = cost.MoveKind
+	// Fault is one fault-injection rule for the engine's chaos facility.
+	Fault = engine.Fault
+	// FaultPlan is a deterministic schedule of injected faults.
+	FaultPlan = engine.FaultPlan
+	// StepError is the typed failure of one DSQL step (errors.As target).
+	StepError = engine.StepError
+	// ErrorKind classifies why a step failed.
+	ErrorKind = engine.ErrorKind
 )
+
+// Fault kinds, operation sites and wildcard for building FaultPlans.
+const (
+	FaultFail      = engine.FaultFail
+	FaultSlow      = engine.FaultSlow
+	FaultCorrupt   = engine.FaultCorrupt
+	FaultOpAny     = engine.OpAny
+	FaultOpQuery   = engine.OpQuery
+	FaultOpCreate  = engine.OpCreate
+	FaultOpDeliver = engine.OpDeliver
+	FaultOpLoad    = engine.OpLoad
+	// FaultAny is the wildcard for Fault.Step / Fault.Node / Fault.Move.
+	FaultAny = engine.Any
+)
+
+// Sentinel errors for errors.Is against step failures.
+var (
+	ErrFaultInjected   = engine.ErrFaultInjected
+	ErrCorruptDelivery = engine.ErrCorruptDelivery
+	ErrStepTimeout     = engine.ErrStepTimeout
+)
+
+// NewFaultPlan builds a deterministic fault schedule from rules.
+func NewFaultPlan(faults ...Fault) *FaultPlan { return engine.NewFaultPlan(faults...) }
+
+// RandomFaultPlan draws a seeded random fault schedule over the given
+// step-ID and compute-node ranges; the same seed always yields the same
+// plan, so chaos runs are reproducible.
+func RandomFaultPlan(seed int64, steps, nodes int) *FaultPlan {
+	return engine.RandomFaultPlan(seed, steps, nodes)
+}
+
+// ParseFaultSpec parses the -fault flag syntax ("fail:step=1,node=2;
+// slow:op=deliver,delay=5ms" or "seed=42") into a FaultPlan.
+func ParseFaultSpec(spec string) (*FaultPlan, error) { return engine.ParseFaultSpec(spec) }
 
 // PlanOption is one node of the distributed plan tree (relational
 // operator or data movement); exposed for plan inspection.
@@ -88,6 +132,18 @@ type Options struct {
 	// paths. Plans and results are identical at any setting — the
 	// internal/difftest harness certifies it.
 	Parallelism int
+
+	// MaxRetries is how many times Execute re-runs a failed idempotent
+	// DSQL step (temp-table creates and DMS deliveries) after cleaning up
+	// its partial state; 0 disables retries. Applied to the appliance
+	// like Parallelism.
+	MaxRetries int
+	// StepTimeout bounds each step attempt; exceeding it fails the
+	// attempt with a retryable timeout StepError. 0 means unbounded.
+	StepTimeout time.Duration
+	// FaultPlan injects deterministic faults into this execution's node
+	// operations (testing/chaos only); nil injects nothing.
+	FaultPlan *FaultPlan
 }
 
 // DB is an open appliance: shell metadata plus loaded data.
@@ -141,6 +197,23 @@ func (db *DB) Appliance() *engine.Appliance { return db.appliance }
 // path. It returns the DB for chaining.
 func (db *DB) SetParallelism(n int) *DB {
 	db.appliance.Parallelism = n
+	return db
+}
+
+// SetResilience configures the appliance's retry policy for all
+// subsequent executions: maxRetries re-runs per failed idempotent step
+// (0 disables) and a per-step-attempt timeout (0 disables). It returns
+// the DB for chaining.
+func (db *DB) SetResilience(maxRetries int, stepTimeout time.Duration) *DB {
+	db.appliance.MaxRetries = maxRetries
+	db.appliance.StepTimeout = stepTimeout
+	return db
+}
+
+// SetFaultPlan installs (or, with nil, removes) a fault-injection plan on
+// the appliance. It returns the DB for chaining.
+func (db *DB) SetFaultPlan(p *FaultPlan) *DB {
+	db.appliance.Faults = p
 	return db
 }
 
@@ -297,6 +370,12 @@ func (db *DB) Execute(sql string, opts Options) (*Result, error) {
 	}
 	if opts.Parallelism != 0 {
 		db.SetParallelism(opts.Parallelism)
+	}
+	if opts.MaxRetries != 0 || opts.StepTimeout != 0 {
+		db.SetResilience(opts.MaxRetries, opts.StepTimeout)
+	}
+	if opts.FaultPlan != nil {
+		db.SetFaultPlan(opts.FaultPlan)
 	}
 	return db.ExecutePlan(plan)
 }
