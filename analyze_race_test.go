@@ -1,0 +1,94 @@
+package pdwqo
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestAnalyzeDuringExecution hammers the Metrics accessors and the
+// EXPLAIN renderers while EXPLAIN ANALYZE executions are in flight. Run
+// under -race this certifies that Snapshot/StepCount/TotalBytesMoved and
+// the ANALYZE delta capture are properly synchronized with the engine's
+// concurrent step recording — the bug class that motivated unexporting
+// Metrics.steps behind locked accessors.
+func TestAnalyzeDuringExecution(t *testing.T) {
+	db := openTest(t)
+	sql, _ := TPCHQuery("q05")
+	plan, err := db.Optimize(sql, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	// The ANALYZE goroutine is the sole executor: the appliance shares
+	// temp-table names across runs of one plan, so execution itself is
+	// serialized here while the observers below read concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < rounds; i++ {
+			_, report, execErr := db.ExplainAnalyze(plan, false)
+			if execErr != nil {
+				t.Error(execErr)
+				return
+			}
+			if !strings.Contains(report, "-- analyze summary") {
+				t.Errorf("ANALYZE report missing summary:\n%s", report)
+				return
+			}
+		}
+	}()
+
+	// Observer goroutines hammer every locked accessor while steps are
+	// being recorded by the in-flight executions.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := &db.appliance.Metrics
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := m.Snapshot()
+				if len(snap) != 0 && m.StepCount() < 0 {
+					t.Error("impossible step count")
+				}
+				_ = m.TotalBytesMoved()
+				_ = m.RetryCount()
+				_ = m.FaultCount()
+			}
+		}()
+	}
+
+	// A render goroutine re-renders the (read-only) EXPLAIN documents
+	// concurrently; these walk the same plan the executor is running.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := plan.ExplainText(); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := plan.ExplainJSON(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+}

@@ -4,15 +4,16 @@
 //
 // Usage:
 //
-//	pdwbench [-sf 0.01] [-nodes 8] [-seed 42] [experiment ...]
+//	pdwbench [-sf 0.01] [-nodes 8] [-seed 42] [-trace-out t.json] [experiment ...]
 //
-// Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 calibrate all
+// Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 calibrate all
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"pdwqo"
 	"pdwqo/internal/catalog"
 	"pdwqo/internal/cost"
+	"pdwqo/internal/dsql"
 	"pdwqo/internal/engine"
 	"pdwqo/internal/stats"
 	"pdwqo/internal/tpch"
@@ -32,6 +34,11 @@ var (
 	nodes    = flag.Int("nodes", 8, "compute nodes")
 	seed     = flag.Int64("seed", 42, "generator seed")
 	parallel = flag.Int("parallel", 0, "worker parallelism for enumeration and execution (0 = GOMAXPROCS, 1 = serial)")
+	traceOut = flag.String("trace-out", "", `trace mode: record spans/counters across all experiments and write JSON to this file ("-" = stdout)`)
+
+	// tracer is non-nil in trace mode; mustPlan and the main appliance
+	// feed it.
+	tracer *pdwqo.Tracer
 )
 
 func main() {
@@ -43,15 +50,19 @@ func main() {
 	experiments := map[string]func(*pdwqo.DB){
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
-		"e13": e13, "e14": e14, "e15": e15, "calibrate": calibrate,
+		"e13": e13, "e14": e14, "e15": e15, "e16": e16, "calibrate": calibrate,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "calibrate", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
+	order := []string{"e1", "e2", "e3", "e4", "calibrate", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"}
 
 	db, err := pdwqo.OpenTPCH(*sf, *nodes, *seed)
 	if err != nil {
 		fatal(err)
 	}
 	db.SetParallelism(*parallel)
+	if *traceOut != "" {
+		tracer = pdwqo.NewTracer()
+		db.SetTracer(tracer)
+	}
 	fmt.Printf("appliance: TPC-H sf=%g, %d compute nodes, seed %d\n\n", *sf, *nodes, *seed)
 
 	for _, a := range args {
@@ -67,6 +78,28 @@ func main() {
 		}
 		fn(db)
 	}
+	dumpTrace(db)
+}
+
+// dumpTrace writes the accumulated trace (spans plus the appliance's
+// exported exec.* totals) as JSON when trace mode is on.
+func dumpTrace(db *pdwqo.DB) {
+	if tracer == nil {
+		return
+	}
+	db.Appliance().Metrics.Export(tracer.Counters())
+	data, err := tracer.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if *traceOut == "-" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*traceOut, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pdwbench: trace written to %s\n", *traceOut)
 }
 
 func fatal(err error) {
@@ -79,6 +112,9 @@ func header(id, title string) {
 }
 
 func mustPlan(db *pdwqo.DB, sql string, opts pdwqo.Options) *pdwqo.QueryPlan {
+	if tracer != nil && opts.Tracer == nil {
+		opts.Tracer = tracer
+	}
 	p, err := db.Optimize(sql, opts)
 	if err != nil {
 		fatal(err)
@@ -686,6 +722,97 @@ func e15(db *pdwqo.DB) {
 	}
 	fmt.Printf("absorbed by retries on %d queries, typed failures on %d; no panics, no leaked temps.\n\n",
 		absorbed, failed)
+}
+
+// --- E16: cost-model accuracy — predicted vs measured movement (q-error) ---
+
+// e16 quantifies the §3.3 cost model's accuracy the way EXPLAIN ANALYZE
+// does: every move step's predicted rows×width is reconciled against the
+// bytes DMS actually moved, summarized per query as the geometric mean
+// and max q-error (q = max(pred/act, act/pred), 1 = perfect). See
+// EXPERIMENTS.md E16 for methodology.
+func e16(db *pdwqo.DB) {
+	header("E16", "§3.3 — cost-model accuracy: predicted vs actual movement (q-error)")
+	a := db.Appliance()
+	fmt.Printf("%-6s %-6s %14s %14s %9s %9s %9s %9s\n",
+		"query", "moves", "est bytes", "act bytes", "qB mean", "qB max", "qR mean", "qR max")
+	var suiteB, suiteR []float64
+	for _, name := range pdwqo.TPCHQueryNames() {
+		p := mustPlan(db, mustTPCH(name), pdwqo.Options{})
+		before := a.Metrics.StepCount()
+		if _, err := db.ExecutePlan(p); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		acts := map[int]engine.StepMetric{}
+		for _, m := range a.Metrics.Snapshot()[before:] {
+			acts[m.StepID] = m
+		}
+		var qB, qR []float64
+		var estB, actB float64
+		for _, s := range p.DSQL.Steps {
+			if s.Kind != dsql.StepMove {
+				continue
+			}
+			m, ok := acts[s.ID]
+			if !ok {
+				continue
+			}
+			estB += s.EstBytes()
+			actB += float64(m.Bytes)
+			qB = append(qB, cost.QError(s.EstBytes(), float64(m.Bytes)))
+			qR = append(qR, cost.QError(s.Rows, float64(m.Rows)))
+		}
+		if len(qB) == 0 {
+			fmt.Printf("%-6s %-6d %14s %14s (no data movement)\n", name, 0, "-", "-")
+			continue
+		}
+		suiteB = append(suiteB, qB...)
+		suiteR = append(suiteR, qR...)
+		fmt.Printf("%-6s %-6d %14.6g %14.0f %9.3g %9.3g %9.3g %9.3g\n",
+			name, len(qB), estB, actB,
+			geoMean(qB), maxOf(qB), geoMean(qR), maxOf(qR))
+	}
+	finB, infB := splitFinite(suiteB)
+	finR, _ := splitFinite(suiteR)
+	fmt.Printf("suite: %d move steps (%d with a zero-side estimate, excluded from aggregates)\n",
+		len(suiteB), infB)
+	fmt.Printf("  bytes q-error mean %.3g max %.3g; rows q-error mean %.3g max %.3g\n",
+		geoMean(finB), maxOf(finB), geoMean(finR), maxOf(finR))
+	fmt.Println("(q = max(pred/act, act/pred); 1 = perfect estimate. Same metric as EXPLAIN ANALYZE.)")
+	fmt.Println()
+}
+
+// splitFinite drops the +Inf q-errors (a zero on exactly one side —
+// typically an anti-join the model estimates empty) and counts them, so
+// the geometric mean stays meaningful while the misses stay visible.
+func splitFinite(xs []float64) (finite []float64, inf int) {
+	for _, x := range xs {
+		if math.IsInf(x, 0) {
+			inf++
+			continue
+		}
+		finite = append(finite, x)
+	}
+	return finite, inf
+}
+
+// geoMean is the geometric mean — the standard q-error aggregate.
+func geoMean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 func rootCardinality(db *pdwqo.DB, sql string) (float64, int, error) {

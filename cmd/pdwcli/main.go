@@ -4,9 +4,15 @@
 //
 // Usage:
 //
-//	pdwcli [-sf 0.01] [-nodes 8] [-seed 42] [-explain] [-serial]
-//	       [-baseline] [-retries 3] [-step-timeout 1s] [-fault "fail:step=1"]
+//	pdwcli [-sf 0.01] [-nodes 8] [-seed 42] [-explain] [-explain-json]
+//	       [-analyze] [-trace-out trace.json] [-serial] [-baseline]
+//	       [-retries 3] [-step-timeout 1s] [-fault "fail:step=1"]
 //	       (-q "SELECT ..." | -tpch q20)
+//
+// -explain prints the plan without executing; -analyze executes and
+// prints EXPLAIN ANALYZE (per-step estimates vs actuals with a q-error
+// summary); -trace-out writes the full pipeline trace (spans + counters)
+// as JSON to a file, or to stdout with "-".
 package main
 
 import (
@@ -25,6 +31,9 @@ func main() {
 		query    = flag.String("q", "", "SQL text to run")
 		tpchName = flag.String("tpch", "", "run a named TPC-H query (q01..q20)")
 		explain  = flag.Bool("explain", false, "print the plan instead of executing")
+		explainJ = flag.Bool("explain-json", false, "print the plan as JSON instead of executing")
+		analyze  = flag.Bool("analyze", false, "execute and print EXPLAIN ANALYZE (estimates vs actuals)")
+		traceOut = flag.String("trace-out", "", `write the pipeline trace as JSON to this file ("-" = stdout)`)
 		serial   = flag.Bool("serial", false, "also run the single-node reference and compare")
 		baseline = flag.Bool("baseline", false, "use the parallelized-best-serial-plan mode")
 		maxRows  = flag.Int("rows", 20, "max result rows to print")
@@ -63,31 +72,80 @@ func main() {
 	if *baseline {
 		opts.Mode = pdwqo.ModeSerialBaseline
 	}
+	var tracer *pdwqo.Tracer
+	if *traceOut != "" {
+		tracer = pdwqo.NewTracer()
+		opts.Tracer = tracer
+		db.SetTracer(tracer)
+	}
 	plan, err := db.Optimize(sql, opts)
 	if err != nil {
 		fail(err)
 	}
-	if *explain {
-		fmt.Println(plan.Explain())
-		return
-	}
-	res, err := db.ExecutePlan(plan)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("-- %d rows, DMS cost %.6g, moves %v\n", len(res.Rows), plan.Cost(), plan.Moves())
-	if faults != nil || *retries > 0 {
-		m := &db.Appliance().Metrics
-		fmt.Printf("-- resilience: %d faults injected, %d retries\n", m.FaultCount(), m.RetryCount())
-	}
-	printRows(res, *maxRows)
-	if *serial {
-		ref, err := db.ExecuteSerial(sql)
+	switch {
+	case *explainJ:
+		out, err := plan.ExplainJSON()
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("-- serial reference: %d rows (match: %v)\n", len(ref.Rows), len(ref.Rows) == len(res.Rows))
+		fmt.Print(out)
+	case *explain:
+		out, err := plan.ExplainText()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(out)
+	case *analyze:
+		res, report, execErr := db.ExplainAnalyze(plan, false)
+		fmt.Print(report)
+		if execErr != nil {
+			dumpTrace(db, tracer, *traceOut)
+			fail(execErr)
+		}
+		fmt.Printf("-- %d rows\n", len(res.Rows))
+	default:
+		res, err := db.ExecutePlan(plan)
+		if err != nil {
+			dumpTrace(db, tracer, *traceOut)
+			fail(err)
+		}
+		fmt.Printf("-- %d rows, DMS cost %.6g, moves %v\n", len(res.Rows), plan.Cost(), plan.Moves())
+		if faults != nil || *retries > 0 {
+			m := &db.Appliance().Metrics
+			fmt.Printf("-- resilience: %d faults injected, %d retries\n", m.FaultCount(), m.RetryCount())
+		}
+		printRows(res, *maxRows)
+		if *serial {
+			ref, err := db.ExecuteSerial(sql)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("-- serial reference: %d rows (match: %v)\n", len(ref.Rows), len(ref.Rows) == len(res.Rows))
+		}
 	}
+	dumpTrace(db, tracer, *traceOut)
+}
+
+// dumpTrace writes the trace JSON to path ("-" = stdout). The appliance's
+// cumulative metrics are exported into the counter registry first, so the
+// file carries both spans and final exec.* totals.
+func dumpTrace(db *pdwqo.DB, tracer *pdwqo.Tracer, path string) {
+	if tracer == nil || path == "" {
+		return
+	}
+	db.Appliance().Metrics.Export(tracer.Counters())
+	data, err := tracer.JSON()
+	if err != nil {
+		fail(err)
+	}
+	if path == "-" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "pdwcli: trace written to %s\n", path)
 }
 
 func printRows(res *pdwqo.Result, max int) {

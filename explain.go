@@ -1,0 +1,53 @@
+package pdwqo
+
+import (
+	"time"
+
+	"pdwqo/internal/explain"
+)
+
+// ExplainText renders the plan through the observability renderer: the
+// distributed plan tree with placements and estimated rows/bytes/DMS
+// cost, followed by the DSQL step sequence. Output is deterministic for
+// a given query, catalog and topology — the golden EXPLAIN suite relies
+// on that.
+func (p *QueryPlan) ExplainText() (string, error) {
+	return explain.Render(p.explainInput(), explain.Options{})
+}
+
+// ExplainJSON renders the machine-readable EXPLAIN document.
+func (p *QueryPlan) ExplainJSON() (string, error) {
+	return explain.Render(p.explainInput(), explain.Options{JSON: true})
+}
+
+func (p *QueryPlan) explainInput() explain.Input {
+	return explain.Input{SQL: p.SQL, Plan: p.Distributed, DSQL: p.DSQL}
+}
+
+// ExplainAnalyze executes the plan and renders EXPLAIN ANALYZE: per step,
+// the optimizer's estimated rows/bytes next to the engine's measured
+// rows, bytes moved, attempts and wall time, plus a predicted-vs-actual
+// q-error summary over the move steps.
+//
+// Actuals are captured as the delta of the appliance's Metrics across
+// this execution (steps run serially, so the delta lines up with step
+// order; metrics are matched to steps by StepMetric.StepID regardless).
+// On execution failure the report still covers the steps that completed,
+// and the execution error is returned alongside it.
+func (db *DB) ExplainAnalyze(plan *QueryPlan, jsonOut bool) (*Result, string, error) {
+	m := &db.appliance.Metrics
+	before := m.StepCount()
+	retries0, faults0 := m.RetryCount(), m.FaultCount()
+	start := time.Now()
+	res, execErr := db.ExecutePlan(plan)
+	in := plan.explainInput()
+	in.Elapsed = time.Since(start)
+	in.Actuals = m.Snapshot()[before:]
+	in.Retries = m.RetryCount() - retries0
+	in.Faults = m.FaultCount() - faults0
+	report, err := explain.Render(in, explain.Options{Analyze: true, JSON: jsonOut})
+	if err != nil {
+		return res, "", err
+	}
+	return res, report, execErr
+}

@@ -11,24 +11,32 @@ import (
 	"pdwqo/internal/catalog"
 	"pdwqo/internal/cost"
 	"pdwqo/internal/memoxml"
+	"pdwqo/internal/trace"
 )
 
 // enumerateGroup implements Figure 4 steps 05–07 for one group: enumerate
 // relational options over child options, apply cost-based pruning, run the
 // enforcer step (inject data movements on interesting properties), and
 // prune again.
-func (o *Optimizer) enumerateGroup(g *pgroup) error {
+func (o *Optimizer) enumerateGroup(g *pgroup, parent trace.SpanID) error {
+	sp := o.config.Tracer.BeginUnder(parent, "group")
+	sp.Int("id", int64(g.ID))
+	defer sp.End()
 	var opts []*Option
 	for _, e := range g.exprs {
 		es, err := o.enumerateExpr(g, e)
 		if err != nil {
+			sp.SetErr(err)
 			return err
 		}
 		opts = append(opts, es...)
 	}
 	if len(opts) == 0 {
-		return fmt.Errorf("core: no feasible options for group %d", g.ID)
+		err := fmt.Errorf("core: no feasible options for group %d", g.ID)
+		sp.SetErr(err)
+		return err
 	}
+	sp.Int("enumerated", int64(len(opts)))
 	opts = o.pruneOptions(g, opts)
 
 	// Enforcer step (07): movement alternatives for every retained option.
@@ -37,6 +45,7 @@ func (o *Optimizer) enumerateGroup(g *pgroup) error {
 		enforced = append(enforced, o.enforce(g, opt)...)
 	}
 	g.opts = o.pruneOptions(g, enforced)
+	sp.Int("retained", int64(len(g.opts)))
 	atomic.AddInt64(&o.retained, int64(len(g.opts)))
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"pdwqo/internal/catalog"
 	"pdwqo/internal/cost"
 	"pdwqo/internal/memoxml"
+	"pdwqo/internal/trace"
 )
 
 // Mode selects the plan space the optimizer explores.
@@ -43,6 +44,11 @@ type Config struct {
 	// enumerator. Pruning is per-group and fresh columns are minted from
 	// per-group ranges, so the chosen plan is identical at any setting.
 	Parallelism int
+	// Tracer, when non-nil, records phase/wave/group spans and the
+	// optimize.* counters; TraceParent parents them under the caller's
+	// span. A nil Tracer costs nothing.
+	Tracer      *trace.Tracer
+	TraceParent trace.SpanID
 }
 
 // Plan is the optimizer's result: the cheapest distributed plan plus
@@ -110,37 +116,70 @@ func New(dec *memoxml.Decoded, shell *catalog.Shell, model cost.Model, config Co
 
 // Optimize runs the Figure 4 pipeline and returns the best plan.
 func (o *Optimizer) Optimize() (*Plan, error) {
+	tr := o.config.Tracer
+	psp := tr.BeginUnder(o.config.TraceParent, "prepare")
 	if err := o.prepare(); err != nil { // steps 01–03
+		psp.SetErr(err)
+		psp.End()
 		return nil, err
 	}
+	psp.Int("groups", int64(len(o.order)))
+	psp.End()
+	isp := tr.BeginUnder(o.config.TraceParent, "derive-interesting")
 	o.deriveInteresting() // step 04
-	if err := o.enumerate(); err != nil { // steps 05–07
+	isp.End()
+	esp := tr.BeginUnder(o.config.TraceParent, "enumerate")
+	if err := o.enumerate(esp.ID()); err != nil { // steps 05–07
+		esp.SetErr(err)
+		esp.End()
 		return nil, err
 	}
-	return o.extract() // steps 08–09
+	esp.Int("options_considered", atomic.LoadInt64(&o.considered))
+	esp.End()
+	xsp := tr.BeginUnder(o.config.TraceParent, "extract")
+	plan, err := o.extract() // steps 08–09
+	if err != nil {
+		xsp.SetErr(err)
+		xsp.End()
+		return nil, err
+	}
+	xsp.End()
+	reg := tr.Counters()
+	reg.Set("optimize.options_considered", int64(plan.OptionsConsidered))
+	reg.Set("optimize.options_retained", int64(plan.OptionsRetained))
+	reg.Set("optimize.groups", int64(plan.Groups))
+	return plan, nil
 }
 
 // enumerate runs steps 05–07 over every group bottom-up. With parallelism,
 // independent groups of one topological wave enumerate concurrently: a
 // group only reads its children's finished opts, so each wave barrier is
 // the only synchronization needed.
-func (o *Optimizer) enumerate() error {
+func (o *Optimizer) enumerate(parent trace.SpanID) error {
+	tr := o.config.Tracer
 	par := o.config.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	if par == 1 {
 		for _, gid := range o.order {
-			if err := o.enumerateGroup(o.groups[gid]); err != nil {
+			if err := o.enumerateGroup(o.groups[gid], parent); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	for _, wave := range o.waves() {
-		if err := o.enumerateWave(wave, par); err != nil {
+	for i, wave := range o.waves() {
+		wsp := tr.BeginUnder(parent, "wave")
+		wsp.Int("wave", int64(i))
+		wsp.Int("groups", int64(len(wave)))
+		tr.Counters().Add("optimize.waves", 1)
+		if err := o.enumerateWave(wave, par, wsp.ID()); err != nil {
+			wsp.SetErr(err)
+			wsp.End()
 			return err
 		}
+		wsp.End()
 	}
 	return nil
 }
@@ -175,13 +214,13 @@ func (o *Optimizer) waves() [][]int {
 // enumerateWave fans one wave's groups out over at most par workers. The
 // reported error is the first failing group in wave order, matching the
 // serial enumerator.
-func (o *Optimizer) enumerateWave(wave []int, par int) error {
+func (o *Optimizer) enumerateWave(wave []int, par int, parent trace.SpanID) error {
 	if par > len(wave) {
 		par = len(wave)
 	}
 	if par <= 1 {
 		for _, gid := range wave {
-			if err := o.enumerateGroup(o.groups[gid]); err != nil {
+			if err := o.enumerateGroup(o.groups[gid], parent); err != nil {
 				return err
 			}
 		}
@@ -199,7 +238,7 @@ func (o *Optimizer) enumerateWave(wave []int, par int) error {
 				if i >= len(wave) {
 					return
 				}
-				errs[i] = o.enumerateGroup(o.groups[wave[i]])
+				errs[i] = o.enumerateGroup(o.groups[wave[i]], parent)
 			}
 		}()
 	}

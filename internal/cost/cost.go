@@ -12,7 +12,10 @@
 // are (Y·w)/N for distributed streams and Y·w for replicated streams.
 package cost
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // MoveKind enumerates the seven physical data movement operations of
 // §3.3.2.
@@ -171,4 +174,22 @@ func maxf(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// QError is the q-error of a cardinality or byte estimate: the symmetric
+// relative factor max(pred/act, act/pred). It is ≥ 1, with 1 meaning a
+// perfect estimate; when exactly one side is zero the error is unbounded
+// (+Inf), and when both are zero the estimate was perfect (1). EXPLAIN
+// ANALYZE reports it per move step (see EXPERIMENTS.md E16).
+func QError(pred, act float64) float64 {
+	if pred < 0 || act < 0 {
+		return math.Inf(1)
+	}
+	if pred == 0 && act == 0 {
+		return 1
+	}
+	if pred == 0 || act == 0 {
+		return math.Inf(1)
+	}
+	return maxf(pred/act, act/pred)
 }

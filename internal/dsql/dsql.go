@@ -59,6 +59,11 @@ type Step struct {
 	Rows, Width, MoveCost float64
 }
 
+// EstBytes is the optimizer's predicted byte volume of the step's stream
+// (rows × width) — the quantity EXPLAIN ANALYZE reconciles against the
+// engine's measured DMS bytes.
+func (s Step) EstBytes() float64 { return s.Rows * s.Width }
+
 // Plan is an executable DSQL plan.
 type Plan struct {
 	Steps []Step

@@ -30,6 +30,7 @@ import (
 	"pdwqo/internal/normalize"
 	"pdwqo/internal/sqlparser"
 	"pdwqo/internal/storage"
+	"pdwqo/internal/trace"
 	"pdwqo/internal/types"
 )
 
@@ -42,6 +43,9 @@ type Node struct {
 
 // StepMetric records one executed step for calibration and experiments.
 type StepMetric struct {
+	// StepID is the DSQL step that produced this measurement, so EXPLAIN
+	// ANALYZE can line actuals up against the optimizer's estimates.
+	StepID    int
 	Move      cost.MoveKind
 	IsMove    bool
 	Rows      int64
@@ -52,12 +56,23 @@ type StepMetric struct {
 	// push it toward Bytes (E13).
 	MaxNodeBytes int64
 	Duration     time.Duration
+	// Attempts is how many executions the step took to succeed (1 = no
+	// retries fired).
+	Attempts int
+	// LocalOps/LocalRows tally the node-local evaluation work behind the
+	// step (operator nodes run and rows they produced, summed over the
+	// source nodes). Collected only while tracing, zero otherwise.
+	LocalOps  int64
+	LocalRows int64
 }
 
-// Metrics accumulates execution measurements.
+// Metrics accumulates execution measurements. The step slice is private:
+// it is appended concurrently with reader access, so every consumer goes
+// through the locked accessors (Snapshot, StepCount, TotalBytesMoved) —
+// an unlocked read of the slice would race with execution.
 type Metrics struct {
 	mu    sync.Mutex
-	Steps []StepMetric
+	steps []StepMetric
 	// retries counts step attempts beyond the first; faults counts
 	// injected faults that fired. Both live under mu — fault sites run
 	// concurrently on the worker pool.
@@ -68,7 +83,7 @@ type Metrics struct {
 func (m *Metrics) add(s StepMetric) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.Steps = append(m.Steps, s)
+	m.steps = append(m.steps, s)
 }
 
 func (m *Metrics) addRetry() {
@@ -102,7 +117,7 @@ func (m *Metrics) TotalBytesMoved() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var n int64
-	for _, s := range m.Steps {
+	for _, s := range m.steps {
 		if s.IsMove {
 			n += s.Bytes
 		}
@@ -115,17 +130,27 @@ func (m *Metrics) TotalBytesMoved() int64 {
 func (m *Metrics) StepCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.Steps)
+	return len(m.steps)
 }
 
 // Snapshot returns a copy of the recorded steps. Callers observing metrics
-// while the appliance executes (experiment harnesses, monitors) must use
-// this instead of reading Steps directly: the slice is appended under the
-// mutex, and an unlocked read races with execution.
+// while the appliance executes (experiment harnesses, monitors, EXPLAIN
+// ANALYZE) must use this: the slice is appended under the mutex, and an
+// unlocked read races with execution.
 func (m *Metrics) Snapshot() []StepMetric {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return append([]StepMetric(nil), m.Steps...)
+	return append([]StepMetric(nil), m.steps...)
+}
+
+// Export feeds the accumulated totals into a tracer counter registry (the
+// observability layer's bridge from engine measurements to exported
+// counters). Nil-safe on the registry side.
+func (m *Metrics) Export(reg *trace.Registry) {
+	reg.Set("exec.steps", int64(m.StepCount()))
+	reg.Set("exec.bytes_moved", m.TotalBytesMoved())
+	reg.Set("exec.retries", m.RetryCount())
+	reg.Set("exec.faults", m.FaultCount())
 }
 
 // Appliance is the simulated PDW box.
@@ -160,6 +185,11 @@ type Appliance struct {
 	RetryBackoff time.Duration
 	// Faults is the active fault-injection plan; nil injects nothing.
 	Faults *FaultPlan
+
+	// Tracer records per-step execution spans (payload: the step's
+	// StepMetric) and feeds the exec.* counters. Nil disables tracing at
+	// zero cost on the execution path.
+	Tracer *trace.Tracer
 
 	// sleep waits between retry attempts; tests swap in a fake clock so
 	// backoff arithmetic is assertable without real time passing.
@@ -286,8 +316,11 @@ func (a *Appliance) ExecuteContext(ctx context.Context, p *dsql.Plan) (*Result, 
 		}
 	}()
 
+	esp := a.Tracer.Begin("execute")
+	esp.Int("steps", int64(len(p.Steps)))
+	defer esp.End()
 	for _, step := range p.Steps {
-		res, err := a.runStep(ctx, step, p, session, &tempNames)
+		res, err := a.runStep(ctx, esp.ID(), step, p, session, &tempNames)
 		if err != nil {
 			return nil, err
 		}
@@ -304,12 +337,20 @@ func (a *Appliance) ExecuteContext(ctx context.Context, p *dsql.Plan) (*Result, 
 // between attempts and the partial temp table dropped before each rerun.
 // Deterministic failures, non-idempotent steps and exhausted budgets
 // surface a *StepError. A non-nil Result means the plan is done.
-func (a *Appliance) runStep(ctx context.Context, step dsql.Step, p *dsql.Plan, session *catalog.Shell, tempNames *[]string) (*Result, error) {
+//
+// On success the step's metric — stamped with the step ID and attempt
+// count — is recorded in Metrics and, when tracing, attached to the
+// step's span as its payload.
+func (a *Appliance) runStep(ctx context.Context, parent trace.SpanID, step dsql.Step, p *dsql.Plan, session *catalog.Shell, tempNames *[]string) (*Result, error) {
+	sp := a.Tracer.BeginUnder(parent, "step")
+	defer sp.End()
 	// Compilation is deterministic — the same SQL fails the same way — so
 	// it runs once, outside the retry loop.
 	tree, err := a.compile(step.SQL, session)
 	if err != nil {
-		return nil, stepError(step.ID, NoNode, ErrKindExec, err)
+		serr := stepError(step.ID, NoNode, ErrKindExec, err)
+		sp.SetErr(serr)
+		return nil, serr
 	}
 	maxAttempts := 1
 	if step.Idempotent && a.MaxRetries > 0 {
@@ -323,8 +364,12 @@ func (a *Appliance) runStep(ctx context.Context, step dsql.Step, p *dsql.Plan, s
 				break
 			}
 		}
-		res, serr := a.attemptStep(ctx, step, tree, p, session, tempNames)
+		res, sm, serr := a.attemptStep(ctx, step, tree, p, session, tempNames)
 		if serr == nil {
+			sm.StepID = step.ID
+			sm.Attempts = attempt + 1
+			a.Metrics.add(sm)
+			a.recordStepTrace(sp, sm)
 			return res, nil
 		}
 		serr.Attempt = attempt
@@ -340,12 +385,47 @@ func (a *Appliance) runStep(ctx context.Context, step dsql.Step, p *dsql.Plan, s
 			break
 		}
 	}
+	if last != nil {
+		sp.SetErr(last)
+	}
 	return nil, last
 }
 
+// recordStepTrace attaches the completed step's measurements to its span
+// and bumps the exec.* counters. Guarded so the disabled-tracer execution
+// path does no conversion work at all.
+func (a *Appliance) recordStepTrace(sp trace.Active, sm StepMetric) {
+	if a.Tracer == nil {
+		return
+	}
+	sp.SetStep(trace.StepStats{
+		Step:         sm.StepID,
+		Move:         sm.Move.String(),
+		IsMove:       sm.IsMove,
+		Rows:         sm.Rows,
+		Bytes:        sm.Bytes,
+		HashedRows:   sm.HashedRow,
+		MaxNodeBytes: sm.MaxNodeBytes,
+		Attempts:     sm.Attempts,
+		Duration:     sm.Duration,
+		LocalOps:     sm.LocalOps,
+		LocalRows:    sm.LocalRows,
+	})
+	c := a.Tracer.Counters()
+	c.Add("exec.steps", 1)
+	c.Add("exec.retries", int64(sm.Attempts-1))
+	c.Add("exec.local_ops", sm.LocalOps)
+	c.Add("exec.local_rows", sm.LocalRows)
+	if sm.IsMove {
+		c.Add("exec.bytes_moved", sm.Bytes)
+		c.Add("exec.rows_moved", sm.Rows)
+	}
+}
+
 // attemptStep runs one attempt of a step under the per-attempt timeout
-// and classifies any failure.
-func (a *Appliance) attemptStep(ctx context.Context, step dsql.Step, tree *algebra.Tree, p *dsql.Plan, session *catalog.Shell, tempNames *[]string) (*Result, *StepError) {
+// and classifies any failure. On success it returns the step's metric
+// (without StepID/Attempts, which the retry loop stamps).
+func (a *Appliance) attemptStep(ctx context.Context, step dsql.Step, tree *algebra.Tree, p *dsql.Plan, session *catalog.Shell, tempNames *[]string) (*Result, StepMetric, *StepError) {
 	actx := ctx
 	if a.StepTimeout > 0 {
 		var cancel context.CancelFunc
@@ -354,19 +434,20 @@ func (a *Appliance) attemptStep(ctx context.Context, step dsql.Step, tree *algeb
 	}
 	start := time.Now()
 	var res *Result
+	var sm StepMetric
 	var err error
 	switch step.Kind {
 	case dsql.StepMove:
-		err = a.executeMove(actx, step, tree, session, tempNames, start)
+		sm, err = a.executeMove(actx, step, tree, session, tempNames, start)
 	case dsql.StepReturn:
-		res, err = a.executeReturn(actx, step, tree, p, start)
+		res, sm, err = a.executeReturn(actx, step, tree, p, start)
 	default:
 		err = fmt.Errorf("unknown step kind %d", step.Kind)
 	}
 	if err == nil {
-		return res, nil
+		return res, sm, nil
 	}
-	return nil, classify(step.ID, actx, ctx, err)
+	return nil, StepMetric{}, classify(step.ID, actx, ctx, err)
 }
 
 // classify turns an attempt's failure into a *StepError, distinguishing
@@ -448,12 +529,18 @@ func (a *Appliance) sourceNodes(step dsql.Step) []*Node {
 // appliance's worker pool. Results keep node order; the first failing
 // node's error cancels the remaining tasks. stepID and move address the
 // per-node fault-injection site (move is Any for non-move steps).
-func (a *Appliance) runOnNodes(ctx context.Context, stepID, move int, tree *algebra.Tree, nodes []*Node) ([]*exec.Relation, error) {
+func (a *Appliance) runOnNodes(ctx context.Context, stepID, move int, tree *algebra.Tree, nodes []*Node) ([]*exec.Relation, exec.Stats, error) {
 	// The step tree is shared by every node's executor, and Tree.OutputCols
 	// memoizes lazily; derive the full schema cache here, before the
 	// fan-out, so the workers only ever read it.
 	tree.OutputCols()
 	rels := make([]*exec.Relation, len(nodes))
+	// Per-node stat slots (merged after the barrier) exist only while
+	// tracing, so the untraced path allocates nothing extra.
+	var stats []exec.Stats
+	if a.Tracer != nil {
+		stats = make([]exec.Stats, len(nodes))
+	}
 	err := parallelFor(ctx, len(nodes), a.workers(len(nodes)), func(ctx context.Context, i int) error {
 		simulateLatency(ctx, a.NodeLatency)
 		n := nodes[i]
@@ -471,7 +558,11 @@ func (a *Appliance) runOnNodes(ctx context.Context, stepID, move int, tree *alge
 			}
 			return t.Rows, names, nil
 		}
-		rel, err := exec.Run(tree, src)
+		var st *exec.Stats
+		if stats != nil {
+			st = &stats[i]
+		}
+		rel, err := exec.RunStats(tree, src, st)
 		if err != nil {
 			// Node-local evaluation failures are deterministic: attribute
 			// the node but classify as exec (not retryable).
@@ -480,10 +571,14 @@ func (a *Appliance) runOnNodes(ctx context.Context, stepID, move int, tree *alge
 		rels[i] = rel
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	var total exec.Stats
+	for _, s := range stats {
+		total.Merge(s)
 	}
-	return rels, nil
+	if err != nil {
+		return nil, total, err
+	}
+	return rels, total, nil
 }
 
 // batch is one destination node's routed rows plus its tallied share.
@@ -513,11 +608,11 @@ func corruptRows(rows []types.Row) []types.Row {
 // that is renamed to the destination only after every batch lands, so a
 // mid-shuffle failure never leaves a half-populated destination visible
 // to later steps — the retry path drops the staging leftovers and reruns.
-func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algebra.Tree, session *catalog.Shell, tempNames *[]string, start time.Time) error {
+func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algebra.Tree, session *catalog.Shell, tempNames *[]string, start time.Time) (StepMetric, error) {
 	sources := a.sourceNodes(step)
-	rels, err := a.runOnNodes(ctx, step.ID, int(step.MoveKind), tree, sources)
+	rels, local, err := a.runOnNodes(ctx, step.ID, int(step.MoveKind), tree, sources)
 	if err != nil {
-		return err
+		return StepMetric{}, err
 	}
 	// Destination setup: create the staging table on each receiving node.
 	staging := stagingName(step.Dest)
@@ -528,7 +623,7 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 		}
 		return destNodes[i].DB.Create(staging, step.DestCols)
 	}); err != nil {
-		return err
+		return StepMetric{}, err
 	}
 
 	hashPos := -1
@@ -539,7 +634,7 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 			}
 		}
 		if hashPos < 0 {
-			return fmt.Errorf("hash column %q missing from destination", step.HashCol)
+			return StepMetric{}, fmt.Errorf("hash column %q missing from destination", step.HashCol)
 		}
 	}
 
@@ -566,7 +661,7 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 			perSrc[si] = buckets
 			return nil
 		}); err != nil {
-			return err
+			return StepMetric{}, err
 		}
 		for _, h := range perSrcHashed {
 			hashed += h
@@ -582,7 +677,7 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 	case cost.Trim:
 		// Node-local: each node keeps only rows it is responsible for.
 		if len(sources) != len(a.Compute) {
-			return fmt.Errorf("trim requires all compute nodes as sources")
+			return StepMetric{}, fmt.Errorf("trim requires all compute nodes as sources")
 		}
 		keeps := make([][]types.Row, len(rels))
 		perSrcHashed := make([]int64, len(rels))
@@ -601,7 +696,7 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 			keeps[si] = keep
 			return nil
 		}); err != nil {
-			return err
+			return StepMetric{}, err
 		}
 		for _, h := range perSrcHashed {
 			hashed += h
@@ -627,7 +722,7 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 		batches = append(batches, batch{node: a.Control, rows: all})
 
 	default:
-		return fmt.Errorf("unsupported move kind %v", step.MoveKind)
+		return StepMetric{}, fmt.Errorf("unsupported move kind %v", step.MoveKind)
 	}
 
 	// Deliver every batch into staging on the worker pool, tallying per
@@ -653,7 +748,7 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 		tallies[i] = tally{rows: int64(len(batches[i].rows)), bytes: b}
 		return batches[i].node.DB.BulkInsert(staging, batches[i].rows)
 	}); err != nil {
-		return err
+		return StepMetric{}, err
 	}
 	var rows, bytes, maxNode int64
 	for _, t := range tallies {
@@ -669,7 +764,7 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 	if err := parallelFor(ctx, len(destNodes), a.workers(len(destNodes)), func(_ context.Context, i int) error {
 		return destNodes[i].DB.Rename(staging, step.Dest)
 	}); err != nil {
-		return err
+		return StepMetric{}, err
 	}
 	*tempNames = append(*tempNames, step.Dest)
 	if err := session.AddTable(&catalog.Table{
@@ -677,16 +772,16 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 		Columns: step.DestCols,
 		Dist:    destDist,
 	}); err != nil {
-		return err
+		return StepMetric{}, err
 	}
 
-	a.Metrics.add(StepMetric{
+	return StepMetric{
 		Move: step.MoveKind, IsMove: true,
 		Rows: rows, Bytes: bytes, HashedRow: hashed,
 		MaxNodeBytes: maxNode,
 		Duration:     time.Since(start),
-	})
-	return nil
+		LocalOps:     local.Ops, LocalRows: local.Rows,
+	}, nil
 }
 
 // destFor returns the nodes receiving a move's rows and the temp table's
@@ -706,11 +801,11 @@ func (a *Appliance) destFor(step dsql.Step) ([]*Node, catalog.Distribution) {
 // merging per-node streams in node order, then applying the plan's order
 // spec and TOP — so the merged relation is identical under any worker
 // schedule.
-func (a *Appliance) executeReturn(ctx context.Context, step dsql.Step, tree *algebra.Tree, p *dsql.Plan, start time.Time) (*Result, error) {
+func (a *Appliance) executeReturn(ctx context.Context, step dsql.Step, tree *algebra.Tree, p *dsql.Plan, start time.Time) (*Result, StepMetric, error) {
 	sources := a.sourceNodes(step)
-	rels, err := a.runOnNodes(ctx, step.ID, Any, tree, sources)
+	rels, local, err := a.runOnNodes(ctx, step.ID, Any, tree, sources)
 	if err != nil {
-		return nil, err
+		return nil, StepMetric{}, err
 	}
 	out := &Result{Cols: p.OutCols}
 	var bytes int64
@@ -745,15 +840,16 @@ func (a *Appliance) executeReturn(ctx context.Context, step dsql.Step, tree *alg
 			return false
 		})
 		if sortErr != nil {
-			return nil, stepError(step.ID, NoNode, ErrKindExec, sortErr)
+			return nil, StepMetric{}, stepError(step.ID, NoNode, ErrKindExec, sortErr)
 		}
 	}
 	if p.Top > 0 && int64(len(out.Rows)) > p.Top {
 		out.Rows = out.Rows[:p.Top]
 	}
-	a.Metrics.add(StepMetric{
+	return out, StepMetric{
 		Rows: int64(len(out.Rows)), Bytes: bytes,
-		Duration: time.Since(start),
-	})
-	return out, nil
+		Duration:  time.Since(start),
+		LocalOps:  local.Ops,
+		LocalRows: local.Rows,
+	}, nil
 }

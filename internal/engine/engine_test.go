@@ -112,7 +112,7 @@ func TestExecuteShuffleJoin(t *testing.T) {
 	}
 	// Metrics: one move step recorded.
 	found := false
-	for _, s := range a.Metrics.Steps {
+	for _, s := range a.Metrics.Snapshot() {
 		if s.IsMove && s.Bytes > 0 {
 			found = true
 		}

@@ -112,7 +112,7 @@ func TestParallelForHonorsParentCancellation(t *testing.T) {
 
 // TestMetricsSnapshotRace hammers the appliance from concurrent readers
 // while parallel executions append step metrics. Run under -race this
-// certifies the Metrics accessors: unlocked len(Metrics.Steps) reads from
+// certifies the Metrics accessors: unlocked reads of the step slice from
 // experiment harnesses used to race with Execute.
 func TestMetricsSnapshotRace(t *testing.T) {
 	a, _ := buildAppliance(t, 4)

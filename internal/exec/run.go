@@ -21,6 +21,25 @@ type Relation struct {
 // Run executes a bound logical tree against the source. The tree must be
 // subquery-free (normalized).
 func Run(t *algebra.Tree, src TableSource) (*Relation, error) {
+	return runNode(t, src, nil)
+}
+
+// RunStats executes like Run and additionally tallies per-operator work
+// into st (nil st disables collection, making it identical to Run).
+func RunStats(t *algebra.Tree, src TableSource, st *Stats) (*Relation, error) {
+	return runNode(t, src, st)
+}
+
+func runNode(t *algebra.Tree, src TableSource, st *Stats) (*Relation, error) {
+	rel, err := evalNode(t, src, st)
+	if err != nil {
+		return nil, err
+	}
+	st.record(t.Op, rel)
+	return rel, nil
+}
+
+func evalNode(t *algebra.Tree, src TableSource, st *Stats) (*Relation, error) {
 	switch op := t.Op.(type) {
 	case *algebra.Get:
 		return runGet(op, src)
@@ -31,45 +50,45 @@ func Run(t *algebra.Tree, src TableSource) (*Relation, error) {
 		}
 		return rel, nil
 	case *algebra.Select:
-		in, err := Run(t.Children[0], src)
+		in, err := runNode(t.Children[0], src, st)
 		if err != nil {
 			return nil, err
 		}
 		return runFilter(op, in)
 	case *algebra.Project:
-		in, err := Run(t.Children[0], src)
+		in, err := runNode(t.Children[0], src, st)
 		if err != nil {
 			return nil, err
 		}
 		return runProject(op, in, t.OutputCols())
 	case *algebra.Join:
-		l, err := Run(t.Children[0], src)
+		l, err := runNode(t.Children[0], src, st)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Run(t.Children[1], src)
+		r, err := runNode(t.Children[1], src, st)
 		if err != nil {
 			return nil, err
 		}
 		return runJoin(op, l, r)
 	case *algebra.GroupBy:
-		in, err := Run(t.Children[0], src)
+		in, err := runNode(t.Children[0], src, st)
 		if err != nil {
 			return nil, err
 		}
 		return runGroupBy(op, in, t.OutputCols())
 	case *algebra.Sort:
-		in, err := Run(t.Children[0], src)
+		in, err := runNode(t.Children[0], src, st)
 		if err != nil {
 			return nil, err
 		}
 		return runSort(op, in)
 	case *algebra.UnionAll:
-		l, err := Run(t.Children[0], src)
+		l, err := runNode(t.Children[0], src, st)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Run(t.Children[1], src)
+		r, err := runNode(t.Children[1], src, st)
 		if err != nil {
 			return nil, err
 		}

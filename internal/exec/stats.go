@@ -1,0 +1,35 @@
+package exec
+
+import "pdwqo/internal/algebra"
+
+// Stats tallies the local work one Run call performed: how many operator
+// nodes were evaluated and how many rows each produced (intermediates
+// included). The engine sums one Stats per compute node into the step's
+// trace span, making node-local evaluation effort visible next to the
+// DMS bytes the cost model prices.
+type Stats struct {
+	Ops      int64 // operator nodes evaluated
+	Rows     int64 // rows produced across all operators
+	ScanRows int64 // rows produced by base-table scans (Get/Values)
+}
+
+// Merge adds o's tallies into s.
+func (s *Stats) Merge(o Stats) {
+	s.Ops += o.Ops
+	s.Rows += o.Rows
+	s.ScanRows += o.ScanRows
+}
+
+// record counts one evaluated operator. A nil receiver is the disabled
+// collector, so the untraced execution path pays only this nil check.
+func (s *Stats) record(op algebra.Operator, rel *Relation) {
+	if s == nil {
+		return
+	}
+	s.Ops++
+	s.Rows += int64(len(rel.Rows))
+	switch op.(type) {
+	case *algebra.Get, *algebra.Values:
+		s.ScanRows += int64(len(rel.Rows))
+	}
+}

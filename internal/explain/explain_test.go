@@ -1,0 +1,167 @@
+package explain
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/catalog"
+	"pdwqo/internal/core"
+	"pdwqo/internal/cost"
+	"pdwqo/internal/dsql"
+	"pdwqo/internal/engine"
+)
+
+// fakeInput builds a tiny synthetic plan: one shuffle move feeding a
+// return step, enough to exercise every render path without a database.
+func fakeInput() Input {
+	leaf := &core.Option{
+		Op:   &algebra.Get{Table: &catalog.Table{Name: "orders"}},
+		Dist: core.HashOn(1), Rows: 100, Width: 8,
+	}
+	move := &core.Option{
+		Move: &core.MoveSpec{Kind: cost.Shuffle, Col: 2},
+		Inputs: []*core.Option{leaf},
+		Dist:   core.HashOn(2), Rows: 100, Width: 8, DMSCost: 800,
+	}
+	return Input{
+		SQL:  "SELECT 1",
+		Plan: &core.Plan{Root: move, TotalCost: 800, Groups: 2, OptionsConsidered: 10, OptionsRetained: 4},
+		DSQL: &dsql.Plan{Steps: []dsql.Step{
+			{ID: 0, Kind: dsql.StepMove, SQL: "SELECT a\nFROM t", Where: core.DistHash,
+				MoveKind: cost.Shuffle, HashCol: "c2", Dest: "TEMP_ID_1",
+				Rows: 100, Width: 8, MoveCost: 800},
+			{ID: 1, Kind: dsql.StepReturn, SQL: "SELECT * FROM [tempdb].[TEMP_ID_1]",
+				Where: core.DistSingle, Rows: 100, Width: 8},
+		}},
+	}
+}
+
+func TestRenderExplainText(t *testing.T) {
+	out, err := Render(fakeInput(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"cost=800 groups=2 options considered=10 retained=4",
+		"SHUFFLE(c2)",
+		"Get(orders)",
+		"step 0: DMS SHUFFLE(c2) -> TEMP_ID_1  on distributed  [est_rows=100 est_bytes=800 est_cost=800]",
+		"step 1: RETURN  on single-node",
+		"    FROM t", // multi-line SQL stays indented
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "actual:") || strings.Contains(out, "analyze summary") {
+		t.Errorf("plain EXPLAIN must not include ANALYZE sections:\n%s", out)
+	}
+}
+
+func TestRenderAnalyzeText(t *testing.T) {
+	in := fakeInput()
+	in.Actuals = []engine.StepMetric{
+		{StepID: 0, IsMove: true, Move: cost.Shuffle, Rows: 50, Bytes: 400, Attempts: 2, Duration: time.Millisecond},
+		{StepID: 1, Rows: 50, Bytes: 400, Attempts: 1},
+	}
+	in.Retries = 1
+	in.Elapsed = 5 * time.Millisecond
+	out, err := Render(in, Options{Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"actual: rows=50 bytes=400 attempts=2 time=1ms q_rows=2 q_bytes=2",
+		"-- analyze summary",
+		"elapsed=5ms steps=2/2 bytes_moved=400 retries=1 faults=0",
+		"move q-error (rows):  n=1 mean=2 max=2",
+		"move q-error (bytes): n=1 mean=2 max=2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ANALYZE missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAnalyzeIncompleteExecution(t *testing.T) {
+	in := fakeInput()
+	in.Actuals = nil // execution failed before any step completed
+	out, err := Render(in, Options{Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "actual: (step did not complete)") {
+		t.Errorf("missing incomplete-step marker:\n%s", out)
+	}
+	if !strings.Contains(out, "steps=0/2") {
+		t.Errorf("summary should count 0 executed steps:\n%s", out)
+	}
+	if !strings.Contains(out, "move q-error: no move steps executed") {
+		t.Errorf("missing empty q-error note:\n%s", out)
+	}
+}
+
+func TestRenderJSONAnalyze(t *testing.T) {
+	in := fakeInput()
+	in.Actuals = []engine.StepMetric{
+		{StepID: 0, IsMove: true, Move: cost.Shuffle, Rows: 100, Bytes: 800, Attempts: 1},
+	}
+	out, err := Render(in, Options{Analyze: true, JSON: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"kind": "move"`, `"move": "SHUFFLE"`, `"estBytes": 800`,
+		`"actual"`, `"qBytes": 1`, `"analyze"`, `"bytesMoved": 800`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMissingPlan(t *testing.T) {
+	if _, err := Render(Input{}, Options{}); err == nil {
+		t.Error("Render must reject a missing plan")
+	}
+}
+
+func TestQErrorHelpers(t *testing.T) {
+	if got := fmtQ(math.Inf(1)); got != "inf" {
+		t.Errorf("fmtQ(+Inf) = %q", got)
+	}
+	if got := fmtQ(1.5); got != "1.5" {
+		t.Errorf("fmtQ(1.5) = %q", got)
+	}
+	if g := geoMean([]float64{2, 8}); g != 4 {
+		t.Errorf("geoMean(2,8) = %v, want 4", g)
+	}
+	if !math.IsNaN(geoMean(nil)) {
+		t.Error("geoMean(nil) should be NaN")
+	}
+	if m := maxOf([]float64{1, 3, 2}); m != 3 {
+		t.Errorf("maxOf = %v", m)
+	}
+	if p := qPtr(math.NaN()); p != nil {
+		t.Error("qPtr(NaN) should be nil")
+	}
+	if p := qPtr(math.Inf(1)); p == nil || *p != -1 {
+		t.Error("qPtr(+Inf) should box the -1 sentinel")
+	}
+}
+
+func TestWhereName(t *testing.T) {
+	cases := map[core.DistKind]string{
+		core.DistHash:       "distributed",
+		core.DistReplicated: "replicated",
+		core.DistSingle:     "single-node",
+	}
+	for k, want := range cases {
+		if got := whereName(k); got != want {
+			t.Errorf("whereName(%v) = %q, want %q", k, got, want)
+		}
+	}
+}

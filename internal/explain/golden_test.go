@@ -1,0 +1,122 @@
+// Golden-file suite locking down EXPLAIN output for the full TPC-H
+// corpus. The external test package may import pdwqo (which itself
+// imports internal/explain) without a cycle — test-only imports are
+// outside the package graph.
+package explain_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdwqo"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden EXPLAIN files")
+
+// The golden corpus configuration. Changing any of these regenerates
+// different plans — bump the goldens with -update in the same change.
+const (
+	goldenSF    = 0.01
+	goldenNodes = 4
+	goldenSeed  = 42
+)
+
+var goldenDB *pdwqo.DB
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	var err error
+	goldenDB, err = pdwqo.OpenTPCH(goldenSF, goldenNodes, goldenSeed)
+	if err != nil {
+		panic(err)
+	}
+	os.Exit(m.Run())
+}
+
+// TestExplainGoldens locks the EXPLAIN text of every adapted TPC-H query
+// against testdata/explain/<q>.golden, and requires the serial and
+// parallel enumerators to render byte-identical output (EXPLAIN shows
+// search statistics, so this also certifies that OptionsConsidered /
+// OptionsRetained are deterministic under concurrency).
+func TestExplainGoldens(t *testing.T) {
+	for _, name := range pdwqo.TPCHQueryNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sql, ok := pdwqo.TPCHQuery(name)
+			if !ok {
+				t.Fatalf("missing TPC-H query %s", name)
+			}
+			serial, err := goldenDB.Optimize(sql, pdwqo.Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := goldenDB.Optimize(sql, pdwqo.Options{Parallelism: goldenNodes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := serial.ExplainText()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotPar, err := parallel.ExplainText()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != gotPar {
+				t.Errorf("serial and parallel EXPLAIN diverge:%s", firstDiff(got, gotPar))
+			}
+			compareGolden(t, filepath.Join("testdata", "explain", name+".golden"), got)
+		})
+	}
+}
+
+// TestExplainJSONGolden locks the machine-readable shape for one
+// representative query (q05: two moves plus a return).
+func TestExplainJSONGolden(t *testing.T) {
+	sql, _ := pdwqo.TPCHQuery("q05")
+	plan, err := goldenDB.Optimize(sql, pdwqo.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.ExplainJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "explain", "q05.json.golden"), got)
+}
+
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (regenerate with: go test ./internal/explain -run TestExplain -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("EXPLAIN output drifted from %s (re-bless with -update if intended):%s",
+			path, firstDiff(string(want), got))
+	}
+}
+
+// firstDiff points at the first differing line to keep failures readable.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("\n  line %d:\n    want %s\n    got  %s", i+1, al[i], bl[i])
+		}
+	}
+	return "\n  (outputs differ in length)"
+}

@@ -1,0 +1,122 @@
+package memoxml
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDecodeMalformedXML walks the Decode error paths that a corrupted
+// or hand-crafted memo document can reach. Each case must fail with a
+// memoxml-prefixed error, never panic — the decoder sits on the process
+// boundary between the compilation stack and the PDW engine, so this is
+// adversarial input by construction.
+func TestDecodeMalformedXML(t *testing.T) {
+	shell := testShell(t)
+	cases := []struct {
+		name, xml, wantErr string
+	}{
+		{"truncated document", `<Memo root="1" maxCol="1"><Group id="1">`, "memoxml"},
+		{"empty memo", `<Memo></Memo>`, "root group 0 missing"},
+		{"empty memo with root attr", `<Memo root="3" maxCol="1"></Memo>`, "root group 3 missing"},
+		{"root points at missing group",
+			`<Memo root="2" maxCol="1"><Group id="1"><Expr op="UnionAll"/></Group></Memo>`,
+			"root group 2 missing"},
+		{"dangling child group ref",
+			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Join" children="7,8"/></Group></Memo>`,
+			"unknown child group 7"},
+		{"partially dangling child ref",
+			`<Memo root="1" maxCol="1">` +
+				`<Group id="1"><Expr op="Join" children="2,9"/></Group>` +
+				`<Group id="2"><Expr op="UnionAll"/></Group></Memo>`,
+			"unknown child group 9"},
+		{"non-numeric child ref",
+			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Join" children="2,x"/></Group></Memo>`,
+			"bad child group"},
+		{"unknown operator",
+			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Teleport"/></Group></Memo>`,
+			`unknown operator "Teleport"`},
+		{"unknown table",
+			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Get" table="nope"/></Group></Memo>`,
+			`unknown table "nope"`},
+		{"bad group key",
+			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="GroupBy" keys="1,zap"/></Group></Memo>`,
+			"bad group key"},
+		{"bad key colset",
+			`<Memo root="1" maxCol="1"><Group id="1"><Keys><Key>1,bogus</Key></Keys><Expr op="UnionAll"/></Group></Memo>`,
+			"bad column id"},
+		{"unknown scalar kind",
+			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Select"><Filter><S kind="mystery"/></Filter></Expr></Group></Memo>`,
+			`unknown scalar kind "mystery"`},
+		{"bad int const",
+			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Select"><Filter><S kind="const" valKind="2" val="NaNopes"/></Filter></Expr></Group></Memo>`,
+			"bad int"},
+		{"bad bool const",
+			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Select"><Filter><S kind="const" valKind="1" val="maybe"/></Filter></Expr></Group></Memo>`,
+			"bad bool"},
+		{"bad float const",
+			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Select"><Filter><S kind="const" valKind="3" val="1.2.3"/></Filter></Expr></Group></Memo>`,
+			"bad float"},
+		{"bad date const",
+			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Select"><Filter><S kind="const" valKind="5" val="yesterday"/></Filter></Expr></Group></Memo>`,
+			"bad date"},
+		{"unknown value kind",
+			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Select"><Filter><S kind="const" valKind="99"/></Filter></Expr></Group></Memo>`,
+			"unknown value kind 99"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Decode([]byte(c.xml), shell)
+			if err == nil {
+				t.Fatalf("Decode accepted malformed input:\n%s", c.xml)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), "memoxml") {
+				t.Errorf("error %q lost the memoxml prefix", err)
+			}
+		})
+	}
+}
+
+// TestDecodeErrorPropagation checks that scalar decode failures nested
+// inside each operator payload surface instead of being swallowed: the
+// same bad constant is smuggled in through every scalar-carrying slot.
+func TestDecodeErrorPropagation(t *testing.T) {
+	shell := testShell(t)
+	const badConst = `<S kind="const" valKind="2" val="zap"/>`
+	cases := []struct{ name, body string }{
+		{"select filter", `<Expr op="Select"><Filter>` + badConst + `</Filter></Expr>`},
+		{"project def", `<Expr op="Project"><Defs><Def id="1" name="x">` + badConst + `</Def></Defs></Expr>`},
+		{"join on", `<Expr op="Join"><On>` + badConst + `</On></Expr>`},
+		{"agg arg", `<Expr op="GroupBy"><Aggs><Agg func="1" id="1" name="a">` + badConst + `</Agg></Aggs></Expr>`},
+		{"values row", `<Expr op="Values"><Rows><Row><V kind="const" valKind="2" val="zap"/></Row></Rows></Expr>`},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			doc := `<Memo root="1" maxCol="1"><Group id="1">` + c.body + `</Group></Memo>`
+			if _, err := Decode([]byte(doc), shell); err == nil {
+				t.Errorf("bad constant in %s must fail decode", c.name)
+			}
+		})
+	}
+}
+
+// TestDecodeValidChildRefs makes sure the new reference validation does
+// not reject a well-formed multi-group memo.
+func TestDecodeValidChildRefs(t *testing.T) {
+	shell := testShell(t)
+	doc := `<Memo root="1" maxCol="1">` +
+		`<Group id="1"><Expr op="Join" children="2,3"/></Group>` +
+		`<Group id="2"><Expr op="UnionAll"/></Group>` +
+		`<Group id="3"><Expr op="UnionAll"/></Group></Memo>`
+	d, err := Decode([]byte(doc), shell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Groups) != 3 {
+		t.Errorf("got %d groups, want 3", len(d.Groups))
+	}
+}

@@ -481,6 +481,18 @@ func Decode(data []byte, shell *catalog.Shell) (*Decoded, error) {
 	if _, ok := out.Groups[out.Root]; !ok {
 		return nil, fmt.Errorf("memoxml: root group %d missing", out.Root)
 	}
+	// Every expression's child references must resolve: a dangling group
+	// id would surface much later as a nil dereference inside the PDW
+	// enumerator, far from the XML that caused it.
+	for _, g := range out.Groups {
+		for _, e := range g.Exprs {
+			for _, c := range e.Children {
+				if _, ok := out.Groups[c]; !ok {
+					return nil, fmt.Errorf("memoxml: group %d references unknown child group %d", g.ID, c)
+				}
+			}
+		}
+	}
 	return out, nil
 }
 

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a small named-counter store: the tracer's counters, fed by
+// the optimizer (options considered/retained, waves) and by the engine's
+// Metrics (steps, bytes moved, retries, faults). A nil *Registry is the
+// disabled registry; every method no-ops or returns zero values.
+type Registry struct {
+	mu sync.Mutex
+	c  map[string]int64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{c: map[string]int64{}} }
+
+// Add increments a counter by delta (creating it at zero first).
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.c[name] += delta
+	r.mu.Unlock()
+}
+
+// Set overwrites a counter.
+func (r *Registry) Set(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.c[name] = v
+	r.mu.Unlock()
+}
+
+// Get reads one counter (0 when absent or disabled).
+func (r *Registry) Get(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.c[name]
+}
+
+// Snapshot copies all counters.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.c))
+	for k, v := range r.c {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the counter names in sorted order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the counters deterministically, one "name=value" per line.
+func (r *Registry) String() string {
+	if r == nil {
+		return ""
+	}
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, k := range r.Names() {
+		fmt.Fprintf(&b, "%s=%d\n", k, snap[k])
+	}
+	return b.String()
+}

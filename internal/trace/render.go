@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Text renders the span tree with durations, attributes and step payloads,
+// followed by the counter registry. Children are ordered by start offset
+// (ties broken by record order), so concurrent siblings render stably for
+// a given recording.
+func (t *Tracer) Text() string {
+	if t == nil {
+		return ""
+	}
+	spans := t.Spans()
+	children := map[SpanID][]Span{}
+	for _, s := range spans {
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	for _, kids := range children {
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].Start < kids[j].Start })
+	}
+	var b strings.Builder
+	var walk func(parent SpanID, depth int)
+	walk = func(parent SpanID, depth int) {
+		for _, s := range children[parent] {
+			b.WriteString(strings.Repeat("  ", depth))
+			fmt.Fprintf(&b, "%-24s %10s", s.Name, fmtDur(s.Dur))
+			for _, a := range s.Attrs {
+				b.WriteString("  " + a.String())
+			}
+			if s.Step != nil {
+				st := s.Step
+				fmt.Fprintf(&b, "  step=%d rows=%d bytes=%d attempts=%d", st.Step, st.Rows, st.Bytes, st.Attempts)
+				if st.IsMove {
+					fmt.Fprintf(&b, " move=%s", st.Move)
+				}
+				if st.LocalOps > 0 {
+					fmt.Fprintf(&b, " local_ops=%d local_rows=%d", st.LocalOps, st.LocalRows)
+				}
+			}
+			if s.Err != "" {
+				fmt.Fprintf(&b, "  err=%q", s.Err)
+			}
+			b.WriteByte('\n')
+			walk(s.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	if c := t.Counters().String(); c != "" {
+		b.WriteString("-- counters\n")
+		b.WriteString(c)
+	}
+	return b.String()
+}
+
+// fmtDur keeps durations compact and aligned.
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.Round(time.Microsecond).String()
+}
+
+// export is the JSON shape of a full trace.
+type export struct {
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Spans    []Span           `json:"spans"`
+}
+
+// JSON renders the whole trace (spans + counters) as indented JSON.
+func (t *Tracer) JSON() ([]byte, error) {
+	if t == nil {
+		return []byte("null"), nil
+	}
+	return json.MarshalIndent(export{Counters: t.Counters().Snapshot(), Spans: t.Spans()}, "", "  ")
+}

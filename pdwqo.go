@@ -32,6 +32,7 @@ import (
 	"pdwqo/internal/normalize"
 	"pdwqo/internal/sqlparser"
 	"pdwqo/internal/tpch"
+	"pdwqo/internal/trace"
 	"pdwqo/internal/types"
 )
 
@@ -55,7 +56,16 @@ type (
 	StepError = engine.StepError
 	// ErrorKind classifies why a step failed.
 	ErrorKind = engine.ErrorKind
+	// Tracer records spans and counters across the whole pipeline — parse
+	// through enumeration to per-step execution. Construct with NewTracer
+	// and pass via Options.Tracer; a nil Tracer is off and costs nothing.
+	Tracer = trace.Tracer
+	// Span is one recorded trace interval (or instantaneous event).
+	Span = trace.Span
 )
+
+// NewTracer builds an enabled tracer with a fresh counter registry.
+func NewTracer() *Tracer { return trace.New() }
 
 // Fault kinds, operation sites and wildcard for building FaultPlans.
 const (
@@ -144,6 +154,12 @@ type Options struct {
 	// FaultPlan injects deterministic faults into this execution's node
 	// operations (testing/chaos only); nil injects nothing.
 	FaultPlan *FaultPlan
+
+	// Tracer, when non-nil, records spans for every pipeline phase (parse,
+	// bind, normalize, MEMO, XML, enumeration, DSQL generation) and — when
+	// this Options value is passed to Execute — per-step execution spans on
+	// the appliance, plus the optimize.*/exec.* counters.
+	Tracer *Tracer
 }
 
 // DB is an open appliance: shell metadata plus loaded data.
@@ -217,6 +233,14 @@ func (db *DB) SetFaultPlan(p *FaultPlan) *DB {
 	return db
 }
 
+// SetTracer installs (or, with nil, removes) a tracer on the appliance so
+// subsequent executions record per-step spans and exec.* counters. It
+// returns the DB for chaining.
+func (db *DB) SetTracer(t *Tracer) *DB {
+	db.appliance.Tracer = t
+	return db
+}
+
 // TPCHQuery returns the adapted TPC-H query by name ("q01".."q20").
 func TPCHQuery(name string) (string, bool) {
 	q, ok := tpch.Get(name)
@@ -267,19 +291,39 @@ func (p *QueryPlan) Explain() string {
 
 // Optimize compiles a SQL query into a distributed plan.
 func (db *DB) Optimize(sql string, opts Options) (*QueryPlan, error) {
-	sel, err := sqlparser.ParseSelect(sql)
-	if err != nil {
+	tr := opts.Tracer
+	osp := tr.Begin("optimize")
+	defer osp.End()
+	// fail closes the current phase span and the root span with the error.
+	fail := func(sp trace.Active, err error) (*QueryPlan, error) {
+		sp.SetErr(err)
+		sp.End()
+		osp.SetErr(err)
 		return nil, err
 	}
+
+	sp := tr.BeginUnder(osp.ID(), "parse")
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return fail(sp, err)
+	}
+	sp.End()
+
+	sp = tr.BeginUnder(osp.ID(), "bind")
 	b := algebra.NewBinder(db.shell)
 	bound, err := b.Bind(sel)
 	if err != nil {
-		return nil, err
+		return fail(sp, err)
 	}
+	sp.End()
+
+	sp = tr.BeginUnder(osp.ID(), "normalize")
 	norm, err := normalize.New(b).Normalize(bound)
 	if err != nil {
-		return nil, err
+		return fail(sp, err)
 	}
+	sp.End()
+
 	var seeds []*algebra.Tree
 	if opts.SeedCollocated {
 		// §3.1: seed the MEMO with a distribution-aware plan *alongside*
@@ -296,37 +340,57 @@ func (db *DB) Optimize(sql string, opts Options) (*QueryPlan, error) {
 	case budget < 0:
 		budget = 0
 	}
+	sp = tr.BeginUnder(osp.ID(), "memo")
+	sp.Int("budget", int64(budget))
 	m, err := memo.OptimizeSeeded(db.shell, norm, budget, seeds...)
 	if err != nil {
-		return nil, err
+		return fail(sp, err)
 	}
+	sp.End()
+
+	sp = tr.BeginUnder(osp.ID(), "memoxml-encode")
 	data, err := memoxml.Encode(m)
 	if err != nil {
-		return nil, err
+		return fail(sp, err)
 	}
+	sp.Int("bytes", int64(len(data)))
+	sp.End()
+
+	sp = tr.BeginUnder(osp.ID(), "memoxml-decode")
 	dec, err := memoxml.Decode(data, db.shell)
 	if err != nil {
-		return nil, err
+		return fail(sp, err)
 	}
+	sp.End()
+
 	lambda := cost.DefaultLambda()
 	if opts.Lambda != nil {
 		lambda = *opts.Lambda
 	}
 	model := cost.NewModel(db.shell.Topology.ComputeNodes, lambda)
+	sp = tr.BeginUnder(osp.ID(), "pdw-optimize")
 	cfg := core.Config{
 		Mode:                        opts.Mode,
 		DisableInterestingRetention: opts.DisableInterestingRetention,
 		DisableLocalGlobalAgg:       opts.DisableLocalGlobalAgg,
 		Parallelism:                 opts.Parallelism,
+		Tracer:                      tr,
+		TraceParent:                 sp.ID(),
 	}
 	plan, err := core.New(dec, db.shell, model, cfg).Optimize()
 	if err != nil {
-		return nil, err
+		return fail(sp, err)
 	}
+	sp.Int("options_considered", int64(plan.OptionsConsidered))
+	sp.End()
+
+	sp = tr.BeginUnder(osp.ID(), "dsql-gen")
 	dp, err := dsql.Generate(plan, norm.OutputCols())
 	if err != nil {
-		return nil, err
+		return fail(sp, err)
 	}
+	sp.Int("steps", int64(len(dp.Steps)))
+	sp.End()
 	return &QueryPlan{
 		SQL:         sql,
 		Normalized:  norm,
@@ -376,6 +440,9 @@ func (db *DB) Execute(sql string, opts Options) (*Result, error) {
 	}
 	if opts.FaultPlan != nil {
 		db.SetFaultPlan(opts.FaultPlan)
+	}
+	if opts.Tracer != nil {
+		db.SetTracer(opts.Tracer)
 	}
 	return db.ExecutePlan(plan)
 }
