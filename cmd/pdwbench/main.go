@@ -6,7 +6,7 @@
 //
 //	pdwbench [-sf 0.01] [-nodes 8] [-seed 42] [-trace-out t.json] [experiment ...]
 //
-// Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 calibrate all
+// Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 calibrate all
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 	"pdwqo/internal/cost"
 	"pdwqo/internal/dsql"
 	"pdwqo/internal/engine"
+	"pdwqo/internal/normalize"
 	"pdwqo/internal/stats"
 	"pdwqo/internal/tpch"
 	"pdwqo/internal/types"
@@ -50,9 +51,9 @@ func main() {
 	experiments := map[string]func(*pdwqo.DB){
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
-		"e13": e13, "e14": e14, "e15": e15, "e16": e16, "calibrate": calibrate,
+		"e13": e13, "e14": e14, "e15": e15, "e16": e16, "e17": e17, "calibrate": calibrate,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "calibrate", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"}
+	order := []string{"e1", "e2", "e3", "e4", "calibrate", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"}
 
 	db, err := pdwqo.OpenTPCH(*sf, *nodes, *seed)
 	if err != nil {
@@ -839,4 +840,84 @@ func qerror(est float64, actual int) float64 {
 		return est / a
 	}
 	return a / est
+}
+
+// e17 measures the shared plan cache on a repeated parameterized
+// workload: each TPC-H query is compiled cold once, then re-optimized
+// over a stream of same-shape instances with rotating constants. A
+// production control node serves such a stream almost entirely from its
+// cache; the table reports how much compile time that saves and which
+// queries re-bind as templates versus pinning to exact constants
+// (a value-dependent fold consumed a literal slot).
+func e17(db *pdwqo.DB) {
+	header("E17", "shared plan cache — hit rate and compile-time savings on a repeated workload")
+	const reps = 10
+	db.SetPlanCache(4096)
+	defer db.SetPlanCache(-1)
+	fmt.Printf("%-6s %5s %12s %12s %9s  %s\n",
+		"query", "slots", "cold", "cached/op", "speedup", "statuses (m=miss h=hit)")
+	var coldTotal, cachedTotal time.Duration
+	for _, name := range pdwqo.TPCHQueryNames() {
+		sql := mustTPCH(name)
+		pq, err := normalize.Parameterize(sql)
+		if err != nil {
+			fatal(fmt.Errorf("%s: parameterize: %w", name, err))
+		}
+		db.PlanCache().Purge()
+
+		start := time.Now()
+		if _, err := db.Optimize(sql, pdwqo.Options{}); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		cold := time.Since(start)
+		coldTotal += cold
+
+		var cached time.Duration
+		statuses := map[string]int{}
+		for rep := 1; rep <= reps; rep++ {
+			variant, err := pq.Splice(variantTexts(pq, rep))
+			if err != nil {
+				fatal(fmt.Errorf("%s: splice: %w", name, err))
+			}
+			start := time.Now()
+			plan, err := db.Optimize(variant, pdwqo.Options{})
+			if err != nil {
+				fatal(fmt.Errorf("%s rep %d: %w", name, rep, err))
+			}
+			cached += time.Since(start)
+			statuses[plan.CacheStatus]++
+		}
+		cachedTotal += cached
+		fmt.Printf("%-6s %5d %12v %12v %8.0fx  m=%d h=%d\n",
+			name, len(pq.Lits), cold.Round(time.Microsecond),
+			(cached / reps).Round(time.Microsecond),
+			float64(cold)/(float64(cached)/reps), statuses["miss"], statuses["hit"])
+	}
+	m := db.PlanCache().Metrics()
+	fmt.Printf("suite: cold compile %v total; cached re-optimize %v/op mean\n",
+		coldTotal.Round(time.Millisecond),
+		(cachedTotal / time.Duration(len(pdwqo.TPCHQueryNames())*reps)).Round(time.Microsecond))
+	fmt.Printf("cache: hits=%d shared=%d misses=%d compiles=%d evictions=%d invalidations=%d\n",
+		m.Hits, m.Shared, m.Misses, m.Compiles, m.Evictions, m.Invalidations)
+	fmt.Println("(a miss column > 1 means the query pins to exact constants: a fold consumed a literal slot)")
+	fmt.Println()
+}
+
+// variantTexts renders a same-shape constant vector for rep: integers
+// shift by rep and floats scale slightly (both preserve pairwise
+// distinctness between slots, so the slot pattern — and the shape
+// fingerprint — is unchanged), strings keep their original value.
+func variantTexts(pq *normalize.ParamQuery, rep int) []string {
+	out := make([]string, len(pq.Lits))
+	for i, l := range pq.Lits {
+		switch l.Kind {
+		case normalize.LitInt:
+			out[i] = fmt.Sprint(l.Val.Int() + int64(rep))
+		case normalize.LitFloat:
+			out[i] = fmt.Sprintf("%g", l.Val.Float()*(1+0.001*float64(rep)))
+		default:
+			out[i] = l.Val.SQLLiteral()
+		}
+	}
+	return out
 }

@@ -7,7 +7,7 @@
 //	pdwcli [-sf 0.01] [-nodes 8] [-seed 42] [-explain] [-explain-json]
 //	       [-analyze] [-trace-out trace.json] [-serial] [-baseline]
 //	       [-retries 3] [-step-timeout 1s] [-fault "fail:step=1"]
-//	       (-q "SELECT ..." | -tpch q20)
+//	       [-plan-cache 128] (-q "SELECT ..." | -tpch q20)
 //
 // -explain prints the plan without executing; -analyze executes and
 // prints EXPLAIN ANALYZE (per-step estimates vs actuals with a q-error
@@ -25,22 +25,23 @@ import (
 
 func main() {
 	var (
-		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		nodes    = flag.Int("nodes", 8, "compute nodes")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		query    = flag.String("q", "", "SQL text to run")
-		tpchName = flag.String("tpch", "", "run a named TPC-H query (q01..q20)")
-		explain  = flag.Bool("explain", false, "print the plan instead of executing")
-		explainJ = flag.Bool("explain-json", false, "print the plan as JSON instead of executing")
-		analyze  = flag.Bool("analyze", false, "execute and print EXPLAIN ANALYZE (estimates vs actuals)")
-		traceOut = flag.String("trace-out", "", `write the pipeline trace as JSON to this file ("-" = stdout)`)
-		serial   = flag.Bool("serial", false, "also run the single-node reference and compare")
-		baseline = flag.Bool("baseline", false, "use the parallelized-best-serial-plan mode")
-		maxRows  = flag.Int("rows", 20, "max result rows to print")
-		parallel = flag.Int("parallel", 0, "worker parallelism for enumeration and execution (0 = GOMAXPROCS, 1 = serial)")
-		retries  = flag.Int("retries", 0, "max per-step retries for transient failures (0 = off)")
-		timeout  = flag.Duration("step-timeout", 0, "per-step attempt timeout (0 = unbounded)")
-		faultStr = flag.String("fault", "", `fault-injection spec, e.g. "fail:step=1,node=2" or "seed=42" (see pdwqo.ParseFaultSpec)`)
+		sf        = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		nodes     = flag.Int("nodes", 8, "compute nodes")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		query     = flag.String("q", "", "SQL text to run")
+		tpchName  = flag.String("tpch", "", "run a named TPC-H query (q01..q20)")
+		explain   = flag.Bool("explain", false, "print the plan instead of executing")
+		explainJ  = flag.Bool("explain-json", false, "print the plan as JSON instead of executing")
+		analyze   = flag.Bool("analyze", false, "execute and print EXPLAIN ANALYZE (estimates vs actuals)")
+		traceOut  = flag.String("trace-out", "", `write the pipeline trace as JSON to this file ("-" = stdout)`)
+		serial    = flag.Bool("serial", false, "also run the single-node reference and compare")
+		baseline  = flag.Bool("baseline", false, "use the parallelized-best-serial-plan mode")
+		maxRows   = flag.Int("rows", 20, "max result rows to print")
+		parallel  = flag.Int("parallel", 0, "worker parallelism for enumeration and execution (0 = GOMAXPROCS, 1 = serial)")
+		retries   = flag.Int("retries", 0, "max per-step retries for transient failures (0 = off)")
+		timeout   = flag.Duration("step-timeout", 0, "per-step attempt timeout (0 = unbounded)")
+		faultStr  = flag.String("fault", "", `fault-injection spec, e.g. "fail:step=1,node=2" or "seed=42" (see pdwqo.ParseFaultSpec)`)
+		planCache = flag.Int("plan-cache", -1, "install a plan cache with this capacity (0 = default capacity, negative = off) and report its metrics")
 	)
 	flag.Parse()
 
@@ -68,6 +69,9 @@ func main() {
 		fail(err)
 	}
 	db.SetFaultPlan(faults)
+	if *planCache >= 0 {
+		db.SetPlanCache(*planCache)
+	}
 	opts := pdwqo.Options{Parallelism: *parallel, MaxRetries: *retries, StepTimeout: *timeout}
 	if *baseline {
 		opts.Mode = pdwqo.ModeSerialBaseline
@@ -81,6 +85,11 @@ func main() {
 	plan, err := db.Optimize(sql, opts)
 	if err != nil {
 		fail(err)
+	}
+	if c := db.PlanCache(); c != nil {
+		m := c.Metrics()
+		fmt.Printf("-- plan cache: %s (hits=%d shared=%d misses=%d compiles=%d invalidations=%d)\n",
+			plan.CacheStatus, m.Hits, m.Shared, m.Misses, m.Compiles, m.Invalidations)
 	}
 	switch {
 	case *explainJ:

@@ -13,13 +13,40 @@ import (
 // operator trees with globally unique column IDs. It plays the role of the
 // SQL Server algebrizer in the paper's compilation pipeline (Figure 2).
 type Binder struct {
-	shell  *catalog.Shell
-	nextID ColumnID
+	shell   *catalog.Shell
+	nextID  ColumnID
+	paramAt map[int]int // literal byte offset → 1-based parameter slot
 }
 
 // NewBinder returns a binder over the given shell database.
 func NewBinder(shell *catalog.Shell) *Binder {
 	return &Binder{shell: shell, nextID: 1}
+}
+
+// SetParamSlots installs the parameter-slot map for the plan cache's
+// template compilation: slots maps a literal token's byte offset in the
+// source text to its 0-based parameter slot (see normalize.Parameterize).
+// Constants bound from those literals carry the slot as Const.Param so
+// DSQL generation can render them as re-bindable placeholders. A nil map
+// (the default) binds every literal as a plain constant.
+func (b *Binder) SetParamSlots(slots map[int]int) {
+	if len(slots) == 0 {
+		b.paramAt = nil
+		return
+	}
+	b.paramAt = make(map[int]int, len(slots))
+	for pos, slot := range slots {
+		b.paramAt[pos] = slot + 1
+	}
+}
+
+// paramOf resolves a literal's byte offset to its Const.Param encoding
+// (0 when the literal is not a parameter slot).
+func (b *Binder) paramOf(pos int) int {
+	if b.paramAt == nil || pos <= 0 {
+		return 0
+	}
+	return b.paramAt[pos]
 }
 
 // NextID exposes the allocator so later phases (normalization, the PDW
@@ -760,7 +787,11 @@ func coerceComparison(l, r Scalar) (Scalar, Scalar) {
 		}
 		if c, ok := e.(*Const); ok && c.Val.Kind() == types.KindString {
 			if d, err := types.ParseDate(c.Val.Str()); err == nil {
-				return &Const{Val: d}
+				// The coerced date still stands in for the original string
+				// literal slot: re-binding splices a new (string) literal
+				// into the same comparison context, where the per-node
+				// binder repeats this exact coercion.
+				return &Const{Val: d, Param: c.Param}
 			}
 		}
 		return e
@@ -772,7 +803,7 @@ func coerceComparison(l, r Scalar) (Scalar, Scalar) {
 func (b *Binder) bindExpr(e sqlparser.Expr, s *scope, allowMissing bool) (Scalar, error) {
 	switch x := e.(type) {
 	case *sqlparser.Lit:
-		return &Const{Val: x.Value}, nil
+		return &Const{Val: x.Value, Param: b.paramOf(x.Pos)}, nil
 
 	case *sqlparser.ColRef:
 		m, ok, err := s.resolve(x.Table, x.Name)

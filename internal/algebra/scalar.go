@@ -115,14 +115,33 @@ func (c *ColRef) Type() types.Kind { return c.Meta.Type }
 // Fingerprint implements Scalar.
 func (c *ColRef) Fingerprint() string { return fmt.Sprintf("c%d", c.ID) }
 
-// Const is a literal value.
-type Const struct{ Val types.Value }
+// Const is a literal value. Param, when non-zero, ties the constant to
+// parameter slot Param-1 of the query's parameterized form (see
+// normalize.Parameterize): the plan cache re-binds such constants to new
+// literal values on a cache hit. Slots are assigned per distinct value,
+// so two Consts with equal values always carry the same Param — which is
+// what makes value-based expression dedup safe under re-binding.
+type Const struct {
+	Val   types.Value
+	Param int
+}
+
+// Slot returns the 0-based parameter slot, if any.
+func (c *Const) Slot() (int, bool) { return c.Param - 1, c.Param > 0 }
 
 // Type implements Scalar.
 func (c *Const) Type() types.Kind { return c.Val.Kind() }
 
-// Fingerprint implements Scalar.
-func (c *Const) Fingerprint() string { return c.Val.SQLLiteral() }
+// Fingerprint implements Scalar. Parameterized constants fingerprint
+// distinctly from plain ones with the same value: a plain constant is
+// structural (e.g. a retained DATEADD argument) and must never be merged
+// with a re-bindable slot by fingerprint-driven dedup.
+func (c *Const) Fingerprint() string {
+	if c.Param > 0 {
+		return fmt.Sprintf("%s?p%d", c.Val.SQLLiteral(), c.Param-1)
+	}
+	return c.Val.SQLLiteral()
+}
 
 // Binary applies a binary operator. Comparison and logic operators yield
 // KindBool; arithmetic follows numeric promotion.

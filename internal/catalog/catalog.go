@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"pdwqo/internal/stats"
 	"pdwqo/internal/types"
@@ -131,6 +132,11 @@ type Topology struct {
 type Shell struct {
 	Topology Topology
 	tables   map[string]*Table
+
+	// epoch is the catalog/statistics version: bumped by every DDL change
+	// (AddTable) and statistics refresh (SetStats). Plan caches key on it,
+	// so a compiled plan can never outlive the metadata it was built from.
+	epoch atomic.Uint64
 }
 
 // NewShell returns an empty shell database for an appliance with n compute
@@ -172,8 +178,19 @@ func (s *Shell) AddTable(t *Table) error {
 		}
 	}
 	s.tables[key] = t
+	s.epoch.Add(1)
 	return nil
 }
+
+// Epoch returns the current catalog/statistics epoch. It increases
+// monotonically; two equal readings bracket a window in which no DDL ran
+// and no statistics changed.
+func (s *Shell) Epoch() uint64 { return s.epoch.Load() }
+
+// BumpEpoch advances the epoch without changing any metadata and returns
+// the new value. DDL and stats paths bump implicitly; this is the explicit
+// invalidation barrier ("treat everything compiled so far as stale").
+func (s *Shell) BumpEpoch() uint64 { return s.epoch.Add(1) }
 
 // Table resolves a table by name (case-insensitive), or nil.
 func (s *Shell) Table(name string) *Table {
@@ -197,5 +214,6 @@ func (s *Shell) SetStats(table string, st *stats.Table) error {
 		return fmt.Errorf("catalog: unknown table %q", table)
 	}
 	t.Stats = st
+	s.epoch.Add(1)
 	return nil
 }

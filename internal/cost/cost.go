@@ -193,3 +193,30 @@ func QError(pred, act float64) float64 {
 	}
 	return maxf(pred/act, act/pred)
 }
+
+// QErrorSummary aggregates per-step q-errors into the geometric mean of
+// the finite factors plus the count of unbounded ones. A naive geometric
+// mean over factors that include +Inf — one side of an estimate was zero,
+// e.g. a predicted-empty move (EstBytes=0) that produced rows, or an
+// empty actual result — is itself +Inf and hides every finite factor, so
+// the unbounded ones are counted separately. NaN inputs (malformed
+// estimates) also count as unbounded. With no finite factor the mean is
+// +Inf when anything was unbounded, and 1 for empty input.
+func QErrorSummary(xs []float64) (geo float64, unbounded int) {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if math.IsInf(x, 1) || math.IsNaN(x) {
+			unbounded++
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		if unbounded > 0 {
+			return math.Inf(1), unbounded
+		}
+		return 1, 0
+	}
+	return math.Exp(sum / float64(n)), unbounded
+}

@@ -149,3 +149,40 @@ func TestMonotoneInRows(t *testing.T) {
 		}
 	}
 }
+
+func TestQErrorSummary(t *testing.T) {
+	cases := []struct {
+		name      string
+		in        []float64
+		geo       float64
+		unbounded int
+	}{
+		{"empty", nil, 1, 0},
+		{"finite", []float64{2, 8}, 4, 0},
+		{"mixed", []float64{2, 8, math.Inf(1)}, 4, 1},
+		{"all-unbounded", []float64{math.Inf(1), math.Inf(1)}, math.Inf(1), 2},
+		{"nan-counts-unbounded", []float64{4, math.NaN()}, 4, 1},
+	}
+	for _, c := range cases {
+		geo, unbounded := QErrorSummary(c.in)
+		if geo != c.geo && !(math.IsInf(c.geo, 1) && math.IsInf(geo, 1)) {
+			t.Errorf("%s: geo = %v, want %v", c.name, geo, c.geo)
+		}
+		if unbounded != c.unbounded {
+			t.Errorf("%s: unbounded = %d, want %d", c.name, unbounded, c.unbounded)
+		}
+	}
+}
+
+// The EstBytes=0 regression: a zero prediction against a non-zero actual
+// must aggregate as an unbounded factor, never divide by zero or emit NaN.
+func TestQErrorSummaryZeroEstimate(t *testing.T) {
+	qs := []float64{QError(0, 56), QError(800, 400)}
+	geo, unbounded := QErrorSummary(qs)
+	if math.IsNaN(geo) {
+		t.Fatal("summary emitted NaN")
+	}
+	if geo != 2 || unbounded != 1 {
+		t.Errorf("got geo=%v unbounded=%d, want 2 and 1", geo, unbounded)
+	}
+}

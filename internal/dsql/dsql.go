@@ -105,6 +105,57 @@ func (p *Plan) String() string {
 	return b.String()
 }
 
+// Placeholder is the parameter marker rendered into step SQL for a
+// constant carrying literal-slot provenance. The NUL delimiters cannot
+// occur in generated SQL (identifiers are c<id>/T<n>, literals are
+// escaped), so substitution can never corrupt surrounding text and a
+// leftover marker is detectable.
+func Placeholder(slot int) string {
+	return fmt.Sprintf("\x00?%d\x00", slot)
+}
+
+// HasAllParamSlots reports whether every one of the n literal slots has
+// at least one placeholder surviving in the plan's step SQL. A slot with
+// no placeholder means normalization consumed that literal's value while
+// compiling (constant folding, contradiction pruning, range merging) —
+// the plan is value-dependent and must not be re-bound to different
+// constants.
+func (p *Plan) HasAllParamSlots(n int) bool {
+	for slot := 0; slot < n; slot++ {
+		ph := Placeholder(slot)
+		found := false
+		for _, s := range p.Steps {
+			if strings.Contains(s.SQL, ph) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Bind returns a copy of the plan with every slot placeholder replaced
+// by texts[slot] (SQL literal text). The receiver — a cached template —
+// is not modified; shared read-only fields (OutCols, OrderBy, DestCols)
+// are reused.
+func (p *Plan) Bind(texts []string) *Plan {
+	pairs := make([]string, 0, 2*len(texts))
+	for slot, t := range texts {
+		pairs = append(pairs, Placeholder(slot), t)
+	}
+	r := strings.NewReplacer(pairs...)
+	out := *p
+	out.Steps = make([]Step, len(p.Steps))
+	for i, s := range p.Steps {
+		s.SQL = r.Replace(s.SQL)
+		out.Steps[i] = s
+	}
+	return &out
+}
+
 // Generate converts an optimized plan into DSQL steps.
 func Generate(plan *core.Plan, finalCols []algebra.ColumnMeta) (*Plan, error) {
 	g := &generator{
@@ -548,6 +599,9 @@ func renderScalar(e algebra.Scalar, res resolver) (string, error) {
 	case *algebra.ColRef:
 		return res(x.ID)
 	case *algebra.Const:
+		if slot, ok := x.Slot(); ok {
+			return Placeholder(slot), nil
+		}
 		return x.Val.SQLLiteral(), nil
 	case *algebra.Binary:
 		l, err := renderScalar(x.L, res)

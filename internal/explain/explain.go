@@ -180,11 +180,23 @@ func writeSummary(b *strings.Builder, in Input, acts map[int]engine.StepMetric) 
 		bytesMoved, in.Retries, in.Faults)
 	rows, bytes := qErrors(in, acts)
 	if len(bytes) > 0 {
-		fmt.Fprintf(b, "move q-error (rows):  n=%d mean=%s max=%s\n", len(rows), fmtQ(geoMean(rows)), fmtQ(maxOf(rows)))
-		fmt.Fprintf(b, "move q-error (bytes): n=%d mean=%s max=%s\n", len(bytes), fmtQ(geoMean(bytes)), fmtQ(maxOf(bytes)))
+		rg, ru := cost.QErrorSummary(rows)
+		bg, bu := cost.QErrorSummary(bytes)
+		fmt.Fprintf(b, "move q-error (rows):  n=%d mean=%s max=%s%s\n", len(rows), fmtQ(rg), fmtQ(maxOf(rows)), fmtUnbounded(ru))
+		fmt.Fprintf(b, "move q-error (bytes): n=%d mean=%s max=%s%s\n", len(bytes), fmtQ(bg), fmtQ(maxOf(bytes)), fmtUnbounded(bu))
 	} else {
 		b.WriteString("move q-error: no move steps executed\n")
 	}
+}
+
+// fmtUnbounded annotates a q-error line with how many steps had an
+// unbounded (one-side-zero) error; empty when none, so the common case
+// keeps its historical format.
+func fmtUnbounded(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" unbounded=%d", n)
 }
 
 // qErrors collects the per-move-step q-errors for rows and bytes, in
@@ -202,19 +214,6 @@ func qErrors(in Input, acts map[int]engine.StepMetric) (rows, bytes []float64) {
 		bytes = append(bytes, cost.QError(s.EstBytes(), float64(a.Bytes)))
 	}
 	return rows, bytes
-}
-
-// geoMean is the geometric mean — the standard aggregate for q-errors,
-// which are multiplicative factors.
-func geoMean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
-	}
-	sum := 0.0
-	for _, x := range xs {
-		sum += math.Log(x)
-	}
-	return math.Exp(sum / float64(len(xs)))
 }
 
 func maxOf(xs []float64) float64 {

@@ -22,7 +22,7 @@ func fakeInput() Input {
 		Dist: core.HashOn(1), Rows: 100, Width: 8,
 	}
 	move := &core.Option{
-		Move: &core.MoveSpec{Kind: cost.Shuffle, Col: 2},
+		Move:   &core.MoveSpec{Kind: cost.Shuffle, Col: 2},
 		Inputs: []*core.Option{leaf},
 		Dist:   core.HashOn(2), Rows: 100, Width: 8, DMSCost: 800,
 	}
@@ -86,6 +86,80 @@ func TestRenderAnalyzeText(t *testing.T) {
 	}
 }
 
+// TestRenderAnalyzeZeroEstimateMove is the regression seed for the
+// EstBytes=0 edge: a move step the optimizer predicted empty (0 rows ×
+// 0 width, e.g. a detected contradiction) that nonetheless produced
+// rows. Its q-errors are unbounded; they must be counted separately, not
+// fold the whole summary mean to inf (or, before the one-zero guard,
+// divide by zero).
+func TestRenderAnalyzeZeroEstimateMove(t *testing.T) {
+	in := fakeInput()
+	in.DSQL.Steps = append([]dsql.Step{
+		{ID: 2, Kind: dsql.StepMove, SQL: "SELECT b FROM u", Where: core.DistHash,
+			MoveKind: cost.Broadcast, Dest: "TEMP_ID_2", Rows: 0, Width: 0},
+	}, in.DSQL.Steps...)
+	in.Actuals = []engine.StepMetric{
+		{StepID: 2, IsMove: true, Move: cost.Broadcast, Rows: 7, Bytes: 56, Attempts: 1},
+		{StepID: 0, IsMove: true, Move: cost.Shuffle, Rows: 50, Bytes: 400, Attempts: 1},
+		{StepID: 1, Rows: 50, Bytes: 400, Attempts: 1},
+	}
+	out, err := Render(in, Options{Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"q_rows=inf q_bytes=inf", // the zero-estimate step itself
+		// the finite step (q=2) must still dominate the mean instead of
+		// the unbounded one absorbing it
+		"move q-error (rows):  n=2 mean=2 max=inf unbounded=1",
+		"move q-error (bytes): n=2 mean=2 max=inf unbounded=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ANALYZE missing %q:\n%s", want, out)
+		}
+	}
+
+	jout, err := Render(in, Options{Analyze: true, JSON: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"qRowsMean": 2`, `"qRowsMax": -1`, `"qRowsUnbounded": 1`,
+		`"qBytesMean": 2`, `"qBytesUnbounded": 1`,
+	} {
+		if !strings.Contains(jout, want) {
+			t.Errorf("JSON ANALYZE missing %q:\n%s", want, jout)
+		}
+	}
+}
+
+// TestRenderAnalyzeAllUnbounded covers the other end of the edge: every
+// executed move had a one-side-zero estimate, so there is no finite
+// factor at all and the mean itself must render as inf, not NaN.
+func TestRenderAnalyzeAllUnbounded(t *testing.T) {
+	in := fakeInput()
+	in.DSQL.Steps[0].Rows = 0
+	in.DSQL.Steps[0].Width = 0
+	in.Actuals = []engine.StepMetric{
+		{StepID: 0, IsMove: true, Move: cost.Shuffle, Rows: 50, Bytes: 400, Attempts: 1},
+	}
+	out, err := Render(in, Options{Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"move q-error (rows):  n=1 mean=inf max=inf unbounded=1",
+		"move q-error (bytes): n=1 mean=inf max=inf unbounded=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ANALYZE missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("summary must never render NaN:\n%s", out)
+	}
+}
+
 func TestRenderAnalyzeIncompleteExecution(t *testing.T) {
 	in := fakeInput()
 	in.Actuals = nil // execution failed before any step completed
@@ -135,12 +209,6 @@ func TestQErrorHelpers(t *testing.T) {
 	}
 	if got := fmtQ(1.5); got != "1.5" {
 		t.Errorf("fmtQ(1.5) = %q", got)
-	}
-	if g := geoMean([]float64{2, 8}); g != 4 {
-		t.Errorf("geoMean(2,8) = %v, want 4", g)
-	}
-	if !math.IsNaN(geoMean(nil)) {
-		t.Error("geoMean(nil) should be NaN")
 	}
 	if m := maxOf([]float64{1, 3, 2}); m != 3 {
 		t.Errorf("maxOf = %v", m)

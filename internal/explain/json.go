@@ -65,6 +65,10 @@ type jsonAnalyze struct {
 	QRowsMax   *float64 `json:"qRowsMax,omitempty"`
 	QBytesMean *float64 `json:"qBytesMean,omitempty"`
 	QBytesMax  *float64 `json:"qBytesMax,omitempty"`
+	// Unbounded counts of +Inf q-errors excluded from the means (one side
+	// of the estimate was zero; see cost.QErrorSummary).
+	QRowsUnbounded  int `json:"qRowsUnbounded,omitempty"`
+	QBytesUnbounded int `json:"qBytesUnbounded,omitempty"`
 }
 
 // qPtr boxes a q-error for optional JSON emission; unbounded values have
@@ -164,10 +168,14 @@ func buildAnalyze(in Input, acts map[int]engine.StepMetric) *jsonAnalyze {
 		MoveSteps:  len(bytes),
 	}
 	if len(bytes) > 0 {
-		ja.QRowsMean = qPtr(geoMean(rows))
+		rg, ru := cost.QErrorSummary(rows)
+		bg, bu := cost.QErrorSummary(bytes)
+		ja.QRowsMean = qPtr(rg)
 		ja.QRowsMax = qPtr(maxOf(rows))
-		ja.QBytesMean = qPtr(geoMean(bytes))
+		ja.QBytesMean = qPtr(bg)
 		ja.QBytesMax = qPtr(maxOf(bytes))
+		ja.QRowsUnbounded = ru
+		ja.QBytesUnbounded = bu
 	}
 	return ja
 }

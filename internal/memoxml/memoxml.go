@@ -107,6 +107,7 @@ type xScalar struct {
 	Col     *xCol     `xml:"Col"`
 	Val     string    `xml:"val,attr,omitempty"`
 	ValKind uint8     `xml:"valKind,attr,omitempty"`
+	Param   int       `xml:"param,attr,omitempty"`
 	Op      uint8     `xml:"binop,attr,omitempty"`
 	Negated bool      `xml:"negated,attr,omitempty"`
 	Pattern string    `xml:"pattern,attr,omitempty"`
@@ -291,7 +292,9 @@ func encodeScalar(e algebra.Scalar) (*xScalar, error) {
 		c.ID = int(x.ID)
 		return &xScalar{Kind: "col", Col: &c}, nil
 	case *algebra.Const:
-		return encodeConst(x.Val), nil
+		s := encodeConst(x.Val)
+		s.Param = x.Param
+		return s, nil
 	case *algebra.Binary:
 		l, err := encodeScalar(x.L)
 		if err != nil {
@@ -643,7 +646,7 @@ func decodeScalar(x xScalar) (algebra.Scalar, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &algebra.Const{Val: v}, nil
+		return &algebra.Const{Val: v, Param: x.Param}, nil
 	case "bin":
 		l, err := decodeScalar(x.Args[0])
 		if err != nil {

@@ -1,0 +1,182 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParam(t *testing.T, sql string) *ParamQuery {
+	t.Helper()
+	pq, err := Parameterize(sql)
+	if err != nil {
+		t.Fatalf("Parameterize(%q): %v", sql, err)
+	}
+	return pq
+}
+
+func TestParameterizeStripsLiterals(t *testing.T) {
+	pq := mustParam(t, "SELECT a FROM t WHERE b > 5 AND c = 'x' AND d < 1.5")
+	if len(pq.Lits) != 3 {
+		t.Fatalf("got %d slots, want 3: %+v", len(pq.Lits), pq.Lits)
+	}
+	wantKinds := []LitKind{LitInt, LitString, LitFloat}
+	for i, k := range wantKinds {
+		if pq.Lits[i].Kind != k {
+			t.Errorf("slot %d kind = %s, want %s", i, pq.Lits[i].Kind, k)
+		}
+	}
+	for _, want := range []string{"? int 0", "? string 1", "? float 2"} {
+		if !strings.Contains(pq.Canon, want) {
+			t.Errorf("Canon missing %q:\n%s", want, pq.Canon)
+		}
+	}
+	if strings.Contains(pq.Canon, "5") || strings.Contains(pq.Canon, "'x'") {
+		t.Errorf("Canon leaked a literal:\n%s", pq.Canon)
+	}
+}
+
+func TestParameterizeValueDedup(t *testing.T) {
+	// Equal (kind, value) occurrences share one slot — the property that
+	// keeps re-binding consistent with the optimizer's value-based
+	// expression dedup.
+	pq := mustParam(t, "SELECT a FROM t WHERE b = 7 AND c = 7")
+	if len(pq.Lits) != 1 {
+		t.Fatalf("got %d slots, want 1", len(pq.Lits))
+	}
+	if len(pq.Lits[0].Spans) != 2 {
+		t.Fatalf("slot 0 has %d spans, want 2", len(pq.Lits[0].Spans))
+	}
+	// Different values get distinct slots, making the slot pattern — and
+	// hence the fingerprint — different from the deduped form.
+	pq2 := mustParam(t, "SELECT a FROM t WHERE b = 7 AND c = 8")
+	if len(pq2.Lits) != 2 {
+		t.Fatalf("got %d slots, want 2", len(pq2.Lits))
+	}
+	if pq.Fingerprint("") == pq2.Fingerprint("") {
+		t.Error("slot patterns (0,0) and (0,1) must fingerprint differently")
+	}
+	// Same kind matters: int 7 and float 7.0 never share a slot.
+	pq3 := mustParam(t, "SELECT a FROM t WHERE b = 7 AND c = 7.0")
+	if len(pq3.Lits) != 2 {
+		t.Fatalf("int/float with equal value collapsed: %+v", pq3.Lits)
+	}
+}
+
+func TestParameterizeRetainsStructuralLiterals(t *testing.T) {
+	cases := []struct {
+		sql   string
+		slots int
+		keep  string // literal that must stay in Canon
+	}{
+		{"SELECT TOP 10 a FROM t WHERE b > 5", 1, "10"},
+		{"SELECT a FROM t WHERE d >= DATEADD(month, 3, '1994-01-01') AND b > 5", 1, "3"},
+		{"SELECT a, b FROM t WHERE b > 5 ORDER BY 2", 1, "2"},
+		{"SELECT a, b FROM t WHERE b > 5 ORDER BY a + 1", 1, "1"},
+	}
+	for _, c := range cases {
+		pq := mustParam(t, c.sql)
+		if len(pq.Lits) != c.slots {
+			t.Errorf("%q: %d slots, want %d (%+v)", c.sql, len(pq.Lits), c.slots, pq.Lits)
+			continue
+		}
+		if !strings.Contains(pq.Canon, c.keep) {
+			t.Errorf("%q: Canon dropped structural literal %q:\n%s", c.sql, c.keep, pq.Canon)
+		}
+	}
+}
+
+func TestParameterizeDateaddRegionEnds(t *testing.T) {
+	// Literals after the DATEADD call closes are parameterized again.
+	pq := mustParam(t, "SELECT a FROM t WHERE d < DATEADD(year, 1, '1995-01-01') AND b = 9")
+	if len(pq.Lits) != 1 {
+		t.Fatalf("got %d slots, want 1: %+v", len(pq.Lits), pq.Lits)
+	}
+	if pq.Lits[0].Kind != LitInt || pq.Lits[0].Val.Int() != 9 {
+		t.Errorf("wrong slot captured: %+v", pq.Lits[0])
+	}
+}
+
+func TestSpliceRoundTrip(t *testing.T) {
+	sql := "SELECT a FROM t WHERE b = 7 AND c = 'O''Brien' AND d = 7"
+	pq := mustParam(t, sql)
+	// Splicing each slot's own SQL literal reproduces an equivalent query.
+	out, err := pq.Splice(pq.BindTexts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq2 := mustParam(t, out)
+	if pq2.Canon != pq.Canon {
+		t.Errorf("round-trip changed shape:\n%s\nvs\n%s", pq.Canon, pq2.Canon)
+	}
+	if pq2.LitSig() != pq.LitSig() {
+		t.Error("round-trip changed literal values")
+	}
+	// New constants land at every occurrence of their slot.
+	texts := pq.BindTexts()
+	texts[0] = "42"
+	out, err = pq.Splice(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "42") != 2 {
+		t.Errorf("deduped slot must splice into both spans: %q", out)
+	}
+	if _, err := pq.Splice([]string{"1"}); err == nil {
+		t.Error("Splice must reject a wrong-arity text vector")
+	}
+}
+
+func TestFingerprintShapeAndEnv(t *testing.T) {
+	a := mustParam(t, "SELECT a FROM t WHERE b > 5")
+	b := mustParam(t, "select a from t where b > 99")
+	if a.Fingerprint("env") != b.Fingerprint("env") {
+		t.Error("same shape, different constants must share a fingerprint")
+	}
+	if a.Fingerprint("env") == a.Fingerprint("other") {
+		t.Error("environment must be part of the fingerprint")
+	}
+	c := mustParam(t, "SELECT a FROM t WHERE b > 5.0")
+	if a.Fingerprint("env") == c.Fingerprint("env") {
+		t.Error("literal kind must be part of the fingerprint")
+	}
+	if a.LitSig() == b.LitSig() {
+		t.Error("different constants must have different literal signatures")
+	}
+}
+
+func TestParamAt(t *testing.T) {
+	sql := "SELECT a FROM t WHERE b = 7 AND c = 'x' AND d = 7"
+	pq := mustParam(t, sql)
+	at := pq.ParamAt()
+	occ := 0
+	for pos, slot := range at {
+		occ++
+		if slot < 0 || slot >= len(pq.Lits) {
+			t.Errorf("pos %d maps to out-of-range slot %d", pos, slot)
+		}
+		if pos <= 0 || pos >= len(sql) {
+			t.Errorf("implausible literal position %d", pos)
+		}
+	}
+	if occ != 3 {
+		t.Errorf("got %d occurrences, want 3", occ)
+	}
+	// Both 7s map to the same slot.
+	var slots []int
+	for _, l := range pq.Lits {
+		if l.Kind == LitInt {
+			for _, s := range l.Spans {
+				slots = append(slots, at[s.Pos])
+			}
+		}
+	}
+	if len(slots) != 2 || slots[0] != slots[1] {
+		t.Errorf("deduped occurrences map to different slots: %v", slots)
+	}
+}
+
+func TestParameterizeLexError(t *testing.T) {
+	if _, err := Parameterize("SELECT 'unterminated"); err == nil {
+		t.Error("Parameterize must surface lexer errors")
+	}
+}

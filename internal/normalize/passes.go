@@ -102,17 +102,21 @@ func constRestriction(e algebra.Scalar) (algebra.ColumnID, func(algebra.ColumnID
 		}
 		if c, ok := x.L.(*algebra.ColRef); ok {
 			if k, ok2 := x.R.(*algebra.Const); ok2 {
-				op, val := x.Op, k.Val
+				// The copy must keep the constant's parameter slot: a
+				// transitivity-derived restriction is implied by the original
+				// one only while both carry the same literal, so a plan-cache
+				// re-bind has to update them together.
+				op, val, param := x.Op, k.Val, k.Param
 				return c.ID, func(id algebra.ColumnID) algebra.Scalar {
-					return &algebra.Binary{Op: op, L: algebra.NewColRef(algebra.ColumnMeta{ID: id, Type: val.Kind()}), R: &algebra.Const{Val: val}}
+					return &algebra.Binary{Op: op, L: algebra.NewColRef(algebra.ColumnMeta{ID: id, Type: val.Kind()}), R: &algebra.Const{Val: val, Param: param}}
 				}, true
 			}
 		}
 		if c, ok := x.R.(*algebra.ColRef); ok {
 			if k, ok2 := x.L.(*algebra.Const); ok2 {
-				op, val := x.Op.Flip(), k.Val
+				op, val, param := x.Op.Flip(), k.Val, k.Param
 				return c.ID, func(id algebra.ColumnID) algebra.Scalar {
-					return &algebra.Binary{Op: op, L: algebra.NewColRef(algebra.ColumnMeta{ID: id, Type: val.Kind()}), R: &algebra.Const{Val: val}}
+					return &algebra.Binary{Op: op, L: algebra.NewColRef(algebra.ColumnMeta{ID: id, Type: val.Kind()}), R: &algebra.Const{Val: val, Param: param}}
 				}, true
 			}
 		}

@@ -122,8 +122,15 @@ func (c *ColRef) String() string {
 	return c.Name
 }
 
-// Lit is a literal value.
-type Lit struct{ Value types.Value }
+// Lit is a literal value. Pos is the byte offset of the literal's own
+// token in the source text when it came directly from one (0 otherwise —
+// no literal token can start at offset 0 in a valid SELECT). The plan
+// cache's parameterizer uses Pos to connect bound constants back to the
+// literal slots it stripped at the lexer level.
+type Lit struct {
+	Value types.Value
+	Pos   int
+}
 
 func (*Lit) expr() {}
 

@@ -18,11 +18,14 @@ const (
 
 // token is one lexical unit. For tokIdent, Text preserves the original
 // spelling and Upper holds the upper-cased form for keyword matching.
+// Pos/End delimit the token's raw byte span in the source (quotes
+// included), so callers can splice replacement text back into the query.
 type token struct {
 	Kind  tokenKind
 	Text  string
 	Upper string
 	Pos   int // byte offset, for error messages
+	End   int // byte offset one past the token's raw spelling
 }
 
 // lexer turns SQL text into tokens. Identifiers may be [bracket-quoted] or
@@ -187,6 +190,12 @@ func lexAll(src string) ([]token, error) {
 		t, err := l.next()
 		if err != nil {
 			return nil, err
+		}
+		// next always leaves l.pos exactly one past the token it returned
+		// (EOF's span is empty), so the end offset is set centrally here.
+		t.End = l.pos
+		if t.Kind == tokEOF {
+			t.End = t.Pos
 		}
 		out = append(out, t)
 		if t.Kind == tokEOF {

@@ -677,17 +677,17 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if err != nil {
 				return nil, p.errHere("invalid number %q", t.Text)
 			}
-			return &Lit{Value: types.NewFloat(f)}, nil
+			return &Lit{Value: types.NewFloat(f), Pos: t.Pos}, nil
 		}
 		n, err := strconv.ParseInt(t.Text, 10, 64)
 		if err != nil {
 			return nil, p.errHere("invalid number %q", t.Text)
 		}
-		return &Lit{Value: types.NewInt(n)}, nil
+		return &Lit{Value: types.NewInt(n), Pos: t.Pos}, nil
 
 	case tokString:
 		p.advance()
-		return &Lit{Value: types.NewString(t.Text)}, nil
+		return &Lit{Value: types.NewString(t.Text), Pos: t.Pos}, nil
 
 	case tokPunct:
 		if t.Text == "(" {

@@ -1,0 +1,46 @@
+package sqlparser
+
+// Exported lexer surface. The plan cache's parameterizer needs the raw
+// token stream — literal values plus their byte spans — without parsing,
+// so it can strip constants out of a query and splice new ones back in.
+
+// TokenKind classifies a lexed token for external consumers.
+type TokenKind uint8
+
+const (
+	// TokenEOF terminates every Lex result.
+	TokenEOF TokenKind = iota
+	// TokenIdent is an identifier or keyword ([quoted] and "quoted"
+	// identifiers lex identically to bare ones, as the parser treats them).
+	TokenIdent
+	// TokenNumber is an integer or decimal numeric literal.
+	TokenNumber
+	// TokenString is a single-quoted string literal; Text holds the
+	// unescaped value, the Pos:End span includes the quotes.
+	TokenString
+	// TokenPunct is operator/punctuation text.
+	TokenPunct
+)
+
+// Token is one lexical unit with its raw byte span in the source.
+type Token struct {
+	Kind  TokenKind
+	Text  string // unescaped value for strings; raw spelling otherwise
+	Upper string // upper-cased Text for identifiers, "" otherwise
+	Pos   int    // byte offset of the first byte of the raw spelling
+	End   int    // byte offset one past the raw spelling
+}
+
+// Lex tokenizes src with the exact lexer the parser uses — comments
+// skipped, doubled-quote escapes resolved — ending with a TokenEOF entry.
+func Lex(src string) ([]Token, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Token, len(toks))
+	for i, t := range toks {
+		out[i] = Token{Kind: TokenKind(t.Kind), Text: t.Text, Upper: t.Upper, Pos: t.Pos, End: t.End}
+	}
+	return out, nil
+}

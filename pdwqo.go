@@ -30,6 +30,7 @@ import (
 	"pdwqo/internal/memo"
 	"pdwqo/internal/memoxml"
 	"pdwqo/internal/normalize"
+	"pdwqo/internal/plancache"
 	"pdwqo/internal/sqlparser"
 	"pdwqo/internal/tpch"
 	"pdwqo/internal/trace"
@@ -62,6 +63,11 @@ type (
 	Tracer = trace.Tracer
 	// Span is one recorded trace interval (or instantaneous event).
 	Span = trace.Span
+	// PlanCache is the control node's shared plan cache (install with
+	// DB.SetPlanCache).
+	PlanCache = plancache.Cache
+	// PlanCacheMetrics is a snapshot of the cache's lifetime counters.
+	PlanCacheMetrics = plancache.Metrics
 )
 
 // NewTracer builds an enabled tracer with a fresh counter registry.
@@ -167,6 +173,7 @@ type DB struct {
 	shell     *catalog.Shell
 	appliance *engine.Appliance
 	data      map[string][]types.Row
+	planCache *plancache.Cache
 }
 
 // Open builds a database over a shell catalog and per-table rows, placing
@@ -241,6 +248,26 @@ func (db *DB) SetTracer(t *Tracer) *DB {
 	return db
 }
 
+// SetPlanCache installs a shared plan cache bounded to capacity entries
+// (0 means plancache.DefaultCapacity; negative removes the cache). With a
+// cache installed, Optimize parameterizes each query, probes the cache by
+// canonical fingerprint, and re-binds a cached template's literals instead
+// of compiling; misses compile once per fingerprint under singleflight,
+// and any DDL or statistics change invalidates via the catalog epoch. It
+// returns the DB for chaining.
+func (db *DB) SetPlanCache(capacity int) *DB {
+	if capacity < 0 {
+		db.planCache = nil
+		return db
+	}
+	db.planCache = plancache.New(capacity)
+	return db
+}
+
+// PlanCache exposes the installed plan cache (nil when off), e.g. for
+// metrics inspection.
+func (db *DB) PlanCache() *plancache.Cache { return db.planCache }
+
 // TPCHQuery returns the adapted TPC-H query by name ("q01".."q20").
 func TPCHQuery(name string) (string, bool) {
 	q, ok := tpch.Get(name)
@@ -270,6 +297,11 @@ type QueryPlan struct {
 	Distributed *core.Plan
 	// DSQL is the executable step sequence (§3.4).
 	DSQL *dsql.Plan
+	// CacheStatus reports how the plan cache produced this plan: "" when
+	// no cache is installed, "hit" (re-bound from a cached template),
+	// "shared" (joined another caller's in-flight compilation), or "miss"
+	// (this caller compiled it).
+	CacheStatus string
 }
 
 // Cost returns the plan's modeled DMS cost.
@@ -289,8 +321,121 @@ func (p *QueryPlan) Explain() string {
 	return b.String()
 }
 
-// Optimize compiles a SQL query into a distributed plan.
+// Optimize compiles a SQL query into a distributed plan. With a plan
+// cache installed (SetPlanCache), the query is parameterized and the
+// cache is consulted first; a hit re-binds the cached template's literal
+// slots instead of running the pipeline.
 func (db *DB) Optimize(sql string, opts Options) (*QueryPlan, error) {
+	if db.planCache == nil {
+		return db.compile(sql, opts, nil)
+	}
+	return db.optimizeCached(sql, opts)
+}
+
+// cachedPlan is the value the plan cache stores: a compiled QueryPlan
+// whose DSQL text may carry literal-slot placeholders, plus whether it is
+// safe to re-bind to different constants.
+type cachedPlan struct {
+	qp    *QueryPlan
+	slots int
+	// rebindable means every literal slot's placeholder survived into the
+	// DSQL text, so the template is published under the shape fingerprint
+	// and can serve any same-shape query. Value-dependent plans (a fold
+	// consumed a literal) stay pinned to their exact literal signature.
+	rebindable bool
+}
+
+// rebind instantiates the template for one query: a shallow copy whose
+// DSQL has the slot placeholders replaced by the query's own literals.
+// The shared artifacts (memo, distributed plan) are read-only downstream.
+func (t *cachedPlan) rebind(sql string, pq *normalize.ParamQuery) *QueryPlan {
+	qp := *t.qp
+	qp.SQL = sql
+	qp.DSQL = t.qp.DSQL.Bind(pq.BindTexts())
+	return &qp
+}
+
+// optimizeCached is Optimize through the plan cache: parameterize, probe
+// the shape key for a re-bindable template, otherwise compile exactly
+// once per (fingerprint, literals, epoch) under singleflight.
+func (db *DB) optimizeCached(sql string, opts Options) (*QueryPlan, error) {
+	tr := opts.Tracer
+	cache := db.planCache
+	pq, err := normalize.Parameterize(sql)
+	if err != nil {
+		// The lexer rejected the text; compile cold so the caller gets the
+		// same error the parser produces without a cache.
+		return db.compile(sql, opts, nil)
+	}
+	epoch := db.shell.Epoch()
+	fp := pq.Fingerprint(db.envSignature(opts))
+	sp := tr.Begin("plancache")
+	defer sp.End()
+	if v, ok := cache.Get(fp, epoch); ok {
+		if t := v.(*cachedPlan); t.slots == len(pq.Lits) {
+			qp := t.rebind(sql, pq)
+			qp.CacheStatus = "hit"
+			sp.Str("outcome", "hit")
+			tr.Counters().Add("optimize.cache.hit", 1)
+			return qp, nil
+		}
+	}
+	fpExact := fp + "|" + pq.LitSig()
+	v, outcome, err := cache.Do(fpExact, epoch, func() (any, error) {
+		qp, cerr := db.compile(sql, opts, pq)
+		if cerr != nil {
+			// Parameterization can perturb compilation (e.g. an ORDER BY
+			// expression no longer matching a slotted select item by
+			// fingerprint); retry cold before failing so a cache never
+			// rejects a query that compiles without one.
+			qp, cerr = db.compile(sql, opts, nil)
+			if cerr != nil {
+				return nil, cerr
+			}
+			return &cachedPlan{qp: qp, slots: len(pq.Lits)}, nil
+		}
+		return &cachedPlan{
+			qp:         qp,
+			slots:      len(pq.Lits),
+			rebindable: qp.DSQL.HasAllParamSlots(len(pq.Lits)),
+		}, nil
+	})
+	if err != nil {
+		sp.SetErr(err)
+		tr.Counters().Add("optimize.cache.error", 1)
+		return nil, err
+	}
+	t := v.(*cachedPlan)
+	if t.rebindable {
+		cache.Put(fp, epoch, t)
+	}
+	qp := t.rebind(sql, pq)
+	qp.CacheStatus = outcome.String()
+	sp.Str("outcome", qp.CacheStatus)
+	tr.Counters().Add("optimize.cache."+qp.CacheStatus, 1)
+	return qp, nil
+}
+
+// envSignature renders every plan-affecting input beyond the query text:
+// optimizer options and appliance topology. Parallelism, retry policy,
+// faults and tracing are deliberately excluded — they never change the
+// plan (the difftest harness certifies plans are identical across
+// Parallelism settings).
+func (db *DB) envSignature(opts Options) string {
+	lambda := cost.DefaultLambda()
+	if opts.Lambda != nil {
+		lambda = *opts.Lambda
+	}
+	return fmt.Sprintf("mode=%d budget=%d noir=%t nolga=%t seedcol=%t nodes=%d lambda=%+v",
+		opts.Mode, opts.Budget, opts.DisableInterestingRetention,
+		opts.DisableLocalGlobalAgg, opts.SeedCollocated,
+		db.shell.Topology.ComputeNodes, lambda)
+}
+
+// compile runs the Figure 2 pipeline. A non-nil pq threads literal-slot
+// provenance through the binder so the generated DSQL carries re-binding
+// placeholders.
+func (db *DB) compile(sql string, opts Options, pq *normalize.ParamQuery) (*QueryPlan, error) {
 	tr := opts.Tracer
 	osp := tr.Begin("optimize")
 	defer osp.End()
@@ -311,6 +456,9 @@ func (db *DB) Optimize(sql string, opts Options) (*QueryPlan, error) {
 
 	sp = tr.BeginUnder(osp.ID(), "bind")
 	b := algebra.NewBinder(db.shell)
+	if pq != nil {
+		b.SetParamSlots(pq.ParamAt())
+	}
 	bound, err := b.Bind(sel)
 	if err != nil {
 		return fail(sp, err)
