@@ -398,3 +398,29 @@ func BenchmarkPlanCacheHit(b *testing.B) {
 	m := db.PlanCache().Metrics()
 	b.ReportMetric(float64(m.Hits)/float64(m.Hits+m.Misses+m.Shared), "hit-rate")
 }
+
+// BenchmarkE18VerifyOverhead measures what Options.Verify adds to a cold
+// compile: the "plain" and "verify" sub-benchmarks run the identical
+// optimization with the plan cache off, so their delta is the full cost
+// of the planverify pass (plan walk + DSQL dataflow + MEMO invariants).
+// The PR's acceptance bar is verify overhead < 5% of the cold compile.
+func BenchmarkE18VerifyOverhead(b *testing.B) {
+	db := benchOpen(b)
+	db.SetPlanCache(-1)
+	sql, _ := TPCHQuery("q05")
+	for _, bench := range []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{}},
+		{"verify", Options{Verify: true}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Optimize(sql, bench.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -6,7 +6,7 @@
 //
 //	pdwbench [-sf 0.01] [-nodes 8] [-seed 42] [-trace-out t.json] [experiment ...]
 //
-// Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 calibrate all
+// Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 e18 calibrate all
 package main
 
 import (
@@ -51,9 +51,9 @@ func main() {
 	experiments := map[string]func(*pdwqo.DB){
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
-		"e13": e13, "e14": e14, "e15": e15, "e16": e16, "e17": e17, "calibrate": calibrate,
+		"e13": e13, "e14": e14, "e15": e15, "e16": e16, "e17": e17, "e18": e18, "calibrate": calibrate,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "calibrate", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"}
+	order := []string{"e1", "e2", "e3", "e4", "calibrate", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"}
 
 	db, err := pdwqo.OpenTPCH(*sf, *nodes, *seed)
 	if err != nil {
@@ -920,4 +920,46 @@ func variantTexts(pq *normalize.ParamQuery, rep int) []string {
 		}
 	}
 	return out
+}
+
+// e18 measures the cost of static plan verification: every TPC-H query
+// is compiled cold with and without Options.Verify, and the table
+// reports the delta as a fraction of the cold compile. Verification
+// re-derives the optimizer's distribution, dataflow, and MEMO
+// invariants from scratch (an independent N-version of the core
+// rules), so a clean sweep here is also a correctness statement: no
+// shipped plan violates them.
+func e18(db *pdwqo.DB) {
+	header("E18", "static plan verification — overhead vs a cold compile")
+	const reps = 5
+	db.SetPlanCache(-1)
+	fmt.Printf("%-6s %12s %12s %9s\n", "query", "cold", "verified", "overhead")
+	var coldTotal, verifiedTotal time.Duration
+	for _, name := range pdwqo.TPCHQueryNames() {
+		sql := mustTPCH(name)
+		var cold, verified time.Duration
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			if _, err := db.Optimize(sql, pdwqo.Options{}); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			cold += time.Since(start)
+			start = time.Now()
+			if _, err := db.Optimize(sql, pdwqo.Options{Verify: true}); err != nil {
+				fatal(fmt.Errorf("%s (verify): %w", name, err))
+			}
+			verified += time.Since(start)
+		}
+		coldTotal += cold
+		verifiedTotal += verified
+		fmt.Printf("%-6s %12v %12v %8.1f%%\n",
+			name, (cold / reps).Round(time.Microsecond),
+			(verified / reps).Round(time.Microsecond),
+			100*(float64(verified)-float64(cold))/float64(cold))
+	}
+	fmt.Printf("suite: cold %v, verified %v, overhead %.1f%% (bar: <5%%)\n",
+		coldTotal.Round(time.Millisecond), verifiedTotal.Round(time.Millisecond),
+		100*(float64(verifiedTotal)-float64(coldTotal))/float64(coldTotal))
+	fmt.Println("(every verified run returned cleanly: no TPC-H plan violates the invariants)")
+	fmt.Println()
 }

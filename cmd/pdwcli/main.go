@@ -19,9 +19,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pdwqo"
 )
+
+// runConfig is the validated execution-control flag set.
+type runConfig struct {
+	retries int
+	timeout time.Duration
+	faults  *pdwqo.FaultPlan
+}
+
+// validateRunFlags checks the resilience and fault-injection flags
+// before the expensive appliance construction, so a typo fails in
+// milliseconds with a one-line diagnostic instead of after full data
+// generation — or as a negative value smuggled into the engine.
+func validateRunFlags(retries int, timeout time.Duration, faultStr string) (runConfig, error) {
+	if retries < 0 {
+		return runConfig{}, fmt.Errorf("-retries must be >= 0, got %d", retries)
+	}
+	if timeout < 0 {
+		return runConfig{}, fmt.Errorf("-step-timeout must be >= 0, got %v", timeout)
+	}
+	faults, err := pdwqo.ParseFaultSpec(faultStr)
+	if err != nil {
+		return runConfig{}, fmt.Errorf("invalid -fault spec: %v", err)
+	}
+	return runConfig{retries: retries, timeout: timeout, faults: faults}, nil
+}
 
 func main() {
 	var (
@@ -57,22 +83,23 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	cfg, err := validateRunFlags(*retries, *timeout, *faultStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdwcli:", err)
+		os.Exit(2)
+	}
 
 	db, err := pdwqo.OpenTPCH(*sf, *nodes, *seed)
 	if err != nil {
 		fail(err)
 	}
 	db.SetParallelism(*parallel)
-	db.SetResilience(*retries, *timeout)
-	faults, err := pdwqo.ParseFaultSpec(*faultStr)
-	if err != nil {
-		fail(err)
-	}
-	db.SetFaultPlan(faults)
+	db.SetResilience(cfg.retries, cfg.timeout)
+	db.SetFaultPlan(cfg.faults)
 	if *planCache >= 0 {
 		db.SetPlanCache(*planCache)
 	}
-	opts := pdwqo.Options{Parallelism: *parallel, MaxRetries: *retries, StepTimeout: *timeout}
+	opts := pdwqo.Options{Parallelism: *parallel, MaxRetries: cfg.retries, StepTimeout: cfg.timeout}
 	if *baseline {
 		opts.Mode = pdwqo.ModeSerialBaseline
 	}
@@ -119,7 +146,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("-- %d rows, DMS cost %.6g, moves %v\n", len(res.Rows), plan.Cost(), plan.Moves())
-		if faults != nil || *retries > 0 {
+		if cfg.faults != nil || cfg.retries > 0 {
 			m := &db.Appliance().Metrics
 			fmt.Printf("-- resilience: %d faults injected, %d retries\n", m.FaultCount(), m.RetryCount())
 		}

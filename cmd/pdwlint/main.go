@@ -1,0 +1,67 @@
+// Command pdwlint runs the project's static-analysis suite over the
+// module: comparechecked, spanclose, lockdiscipline and sentinelwrap.
+// It loads packages with `go list -export -deps -json` (no network, no
+// external analysis dependencies) and prints findings as
+// file:line:col: message (analyzer), exiting 1 when any finding
+// survives the //pdwlint:allow directives.
+//
+// Usage:
+//
+//	pdwlint [packages]
+//
+// With no arguments it analyzes ./... from the current directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdwqo/internal/analysis"
+	"pdwqo/internal/analysis/passes/comparechecked"
+	"pdwqo/internal/analysis/passes/lockdiscipline"
+	"pdwqo/internal/analysis/passes/sentinelwrap"
+	"pdwqo/internal/analysis/passes/spanclose"
+)
+
+var analyzers = []*analysis.Analyzer{
+	comparechecked.Analyzer,
+	spanclose.Analyzer,
+	lockdiscipline.Analyzer,
+	sentinelwrap.Analyzer,
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pdwlint [packages]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdwlint: %v\n", err)
+		os.Exit(2)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(analyzers, pkg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdwlint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "pdwlint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,176 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework in the style of golang.org/x/tools/go/analysis, built only
+// on the standard library: packages are enumerated with `go list
+// -export -deps -json`, type-checked from source with imports resolved
+// through the compiler export data the build cache already holds, and
+// each Analyzer walks the typed syntax reporting Diagnostics.
+//
+// A diagnostic can be suppressed with a directive comment
+//
+//	//pdwlint:allow <analyzer> [<analyzer>...]
+//
+// placed on the offending line, on the line directly above it, or in
+// the doc comment of the enclosing function declaration (which then
+// covers the whole function body). Suppressions are deliberate,
+// reviewable exceptions; prefer fixing the code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in allow directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run reports diagnostics for one package through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// RunPackage applies every analyzer to one loaded package and returns
+// the surviving diagnostics in file/line order, with allow-directive
+// suppressions already applied.
+func RunPackage(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	diags = filterSuppressed(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+const allowPrefix = "//pdwlint:allow"
+
+// allowedNames parses an allow directive comment, returning the
+// analyzer names it covers (nil when c is not a directive).
+func allowedNames(c *ast.Comment) []string {
+	if !strings.HasPrefix(c.Text, allowPrefix) {
+		return nil
+	}
+	return strings.Fields(c.Text[len(allowPrefix):])
+}
+
+// filterSuppressed drops diagnostics covered by an allow directive.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	type lineKey struct {
+		file string
+		line int
+	}
+	allowedLines := map[lineKey]map[string]bool{}
+	type funcRange struct {
+		from, to token.Pos
+		names    []string
+	}
+	var allowedFuncs []funcRange
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := allowedNames(c)
+				if len(names) == 0 {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{p.Line, p.Line + 1} {
+					k := lineKey{p.Filename, line}
+					if allowedLines[k] == nil {
+						allowedLines[k] = map[string]bool{}
+					}
+					for _, n := range names {
+						allowedLines[k][n] = true
+					}
+				}
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if names := allowedNames(c); len(names) > 0 {
+					allowedFuncs = append(allowedFuncs, funcRange{fd.Pos(), fd.End(), names})
+				}
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if allowedLines[lineKey{d.Position.Filename, d.Position.Line}][d.Analyzer] {
+			continue
+		}
+		suppressed := false
+		for _, fr := range allowedFuncs {
+			if d.Pos >= fr.from && d.Pos < fr.to {
+				for _, n := range fr.names {
+					if n == d.Analyzer {
+						suppressed = true
+					}
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

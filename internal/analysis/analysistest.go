@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// RunTest type-checks the single package of .go files under dir,
+// applies the analyzer, and compares its diagnostics against the
+// `// want "regexp"` expectations embedded in the sources: every
+// diagnostic must match a want on its line and every want must be
+// matched. Testdata may import standard-library and module-internal
+// packages; imports resolve through the module's build cache.
+func RunTest(t *testing.T, dir string, a *Analyzer) {
+	t.Helper()
+	pkg, err := loadTestPackage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackage([]*Analyzer{a}, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := map[*want]bool{}
+	for _, d := range diags {
+		w := findWant(wants, d)
+		if w == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if matched[w] {
+			t.Errorf("%s:%d: want %q matched twice", w.file, w.line, w.re)
+		}
+		matched[w] = true
+	}
+	for i := range wants {
+		if !matched[&wants[i]] {
+			t.Errorf("%s:%d: no diagnostic matched %q", wants[i].file, wants[i].line, wants[i].re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func findWant(wants []want, d Diagnostic) *want {
+	for i := range wants {
+		w := &wants[i]
+		if w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+var wantQuoted = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants extracts the want expectations from every comment.
+func collectWants(pkg *Package) ([]want, error) {
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				for _, q := range wantQuoted.FindAllString(text, -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want literal %s", p.Filename, p.Line, q)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %w", p.Filename, p.Line, err)
+					}
+					out = append(out, want{file: p.Filename, line: p.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// moduleExports caches one `go list -export -deps ./...` sweep of the
+// enclosing module per test binary: the export files it reports
+// resolve both standard-library and pdwqo-internal imports appearing
+// in testdata packages.
+var moduleExports = sync.OnceValues(func() (func(string) (io.ReadCloser, error), error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := goList(root, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	return exportLookup(pkgs), nil
+})
+
+func moduleRoot() (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(stdout.String())
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// loadTestPackage parses and type-checks the package under dir.
+func loadTestPackage(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files under %s", dir)
+	}
+	lookup, err := moduleExports()
+	if err != nil {
+		return nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck testdata %s: %w", dir, err)
+	}
+	return &Package{PkgPath: tpkg.Path(), Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,106 @@
+// Package comparechecked flags raw comparisons of dynamically-typed
+// engine values outside the types package itself: calls to
+// types.Compare, and ==/!= between two types.Value operands. Compare
+// panics on cross-kind operands, so call sites must either use
+// types.CompareChecked, guard the enclosing function with a
+// types.Comparable check, or carry an explicit allow directive.
+package comparechecked
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pdwqo/internal/analysis"
+)
+
+const typesPkgPath = "pdwqo/internal/types"
+
+// Analyzer is the comparechecked pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "comparechecked",
+	Doc:  "flag raw types.Value comparisons that bypass CompareChecked",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == typesPkgPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if callsComparable(pass, fd.Body) {
+				// The function established the operands share a
+				// comparable kind; raw Compare is then well-defined.
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// typesFunc reports whether the called function is the named function
+// of the types package.
+func typesFunc(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	var id *ast.Ident
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	return obj != nil && obj.Name() == name &&
+		obj.Pkg() != nil && obj.Pkg().Path() == typesPkgPath
+}
+
+func callsComparable(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && typesFunc(pass, call, "Comparable") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isValue reports whether the expression's type is types.Value.
+func isValue(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Value" && obj.Pkg() != nil && obj.Pkg().Path() == typesPkgPath
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if typesFunc(pass, n, "Compare") {
+				pass.Reportf(n.Pos(),
+					"raw types.Compare can panic on mixed kinds; use types.CompareChecked or guard with types.Comparable")
+			}
+		case *ast.BinaryExpr:
+			if (n.Op == token.EQL || n.Op == token.NEQ) &&
+				isValue(pass, n.X) && isValue(pass, n.Y) {
+				pass.Reportf(n.Pos(),
+					"raw %s on types.Value compares struct representations, not SQL semantics; use types.CompareChecked", n.Op)
+			}
+		}
+		return true
+	})
+}

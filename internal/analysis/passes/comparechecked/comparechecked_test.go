@@ -1,0 +1,13 @@
+package comparechecked_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pdwqo/internal/analysis"
+	"pdwqo/internal/analysis/passes/comparechecked"
+)
+
+func TestCompareChecked(t *testing.T) {
+	analysis.RunTest(t, filepath.Join("testdata", "src", "a"), comparechecked.Analyzer)
+}

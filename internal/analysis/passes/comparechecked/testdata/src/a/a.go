@@ -1,0 +1,46 @@
+package a
+
+import "pdwqo/internal/types"
+
+func bad(a, b types.Value) int {
+	return types.Compare(a, b) // want `raw types.Compare`
+}
+
+func badEq(a, b types.Value) bool {
+	return a == b // want `raw == on types.Value`
+}
+
+func badNeq(a, b types.Value) bool {
+	return a != b // want `raw != on types.Value`
+}
+
+func guarded(a, b types.Value) int {
+	if !types.Comparable(a.Kind(), b.Kind()) {
+		return 0
+	}
+	return types.Compare(a, b)
+}
+
+func checked(a, b types.Value) (int, error) {
+	return types.CompareChecked(a, b)
+}
+
+func unrelatedEq(a, b int) bool {
+	return a == b
+}
+
+// allowedDoc compares kinds the caller already validated.
+//
+//pdwlint:allow comparechecked
+func allowedDoc(a, b types.Value) int {
+	return types.Compare(a, b)
+}
+
+func allowedLine(a, b types.Value) int {
+	return types.Compare(a, b) //pdwlint:allow comparechecked
+}
+
+func allowedAbove(a, b types.Value) int {
+	//pdwlint:allow comparechecked
+	return types.Compare(a, b)
+}

@@ -1,0 +1,161 @@
+// Package lockdiscipline enforces the repo's mutex convention: in a
+// struct with a field named mu of type sync.Mutex or sync.RWMutex, the
+// fields declared after mu are guarded by it. A method that touches a
+// guarded field through its receiver must acquire the mutex (mu.Lock or
+// mu.RLock) somewhere in its body, carry the *Locked name suffix
+// marking it caller-locked, or carry an allow directive. The check is
+// lexical, not a happens-before proof — it catches the common bug of a
+// new accessor added without the lock, which the race detector only
+// sees under a racing workload.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pdwqo/internal/analysis"
+)
+
+// Analyzer is the lockdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flag methods touching mutex-guarded fields without acquiring the mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := guardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			checkMethod(pass, guarded, fd)
+		}
+	}
+	return nil
+}
+
+// guardedFields maps each struct type name to the set of fields
+// declared after its mu mutex field.
+func guardedFields(pass *analysis.Pass) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			afterMu := false
+			fields := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				if afterMu {
+					for _, name := range fld.Names {
+						fields[name.Name] = true
+					}
+					continue
+				}
+				for _, name := range fld.Names {
+					if name.Name == "mu" && isSyncMutex(pass, fld.Type) {
+						afterMu = true
+					}
+				}
+			}
+			if afterMu && len(fields) > 0 {
+				out[ts.Name.Name] = fields
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isSyncMutex(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// recvInfo returns the receiver identifier and its struct type name.
+func recvInfo(pass *analysis.Pass, fd *ast.FuncDecl) (*ast.Ident, string) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil, ""
+	}
+	id := fd.Recv.List[0].Names[0]
+	t := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	return id, named.Obj().Name()
+}
+
+func checkMethod(pass *analysis.Pass, guarded map[string]map[string]bool, fd *ast.FuncDecl) {
+	recv, typeName := recvInfo(pass, fd)
+	if recv == nil || guarded[typeName] == nil {
+		return
+	}
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		// Convention: the caller holds the mutex.
+		return
+	}
+	recvObj := pass.TypesInfo.Defs[recv]
+	fields := guarded[typeName]
+	locks := false
+	type access struct {
+		sel  *ast.SelectorExpr
+		name string
+	}
+	var accesses []access
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// recv.mu.Lock() / recv.mu.RLock() renders as a selector chain:
+		// Sel=Lock, X = recv.mu.
+		if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok &&
+				inner.Sel.Name == "mu" && isRecv(pass, recvObj, inner.X) {
+				locks = true
+			}
+		}
+		if isRecv(pass, recvObj, sel.X) && fields[sel.Sel.Name] {
+			accesses = append(accesses, access{sel, sel.Sel.Name})
+		}
+		return true
+	})
+	if locks {
+		return
+	}
+	reported := map[string]bool{}
+	for _, a := range accesses {
+		if reported[a.name] {
+			continue
+		}
+		reported[a.name] = true
+		pass.Reportf(a.sel.Pos(),
+			"%s.%s is declared after mu and so guarded by it, but %s does not lock mu (suffix the name with Locked if the caller holds it)",
+			typeName, a.name, fd.Name.Name)
+	}
+}
+
+func isRecv(pass *analysis.Pass, recvObj types.Object, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && recvObj != nil && pass.TypesInfo.Uses[id] == recvObj
+}

@@ -1,0 +1,13 @@
+package lockdiscipline_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pdwqo/internal/analysis"
+	"pdwqo/internal/analysis/passes/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysis.RunTest(t, filepath.Join("testdata", "src", "a"), lockdiscipline.Analyzer)
+}

@@ -1,0 +1,61 @@
+package a
+
+import "sync"
+
+type counter struct {
+	name string // before mu: not guarded
+	mu   sync.Mutex
+	n    int
+	last string
+}
+
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `counter.n is declared after mu`
+}
+
+func (c *counter) BadTwo() {
+	c.n++        // want `counter.n is declared after mu`
+	c.last = "x" // want `counter.last is declared after mu`
+}
+
+func (c *counter) Name() string {
+	return c.name // not guarded: declared before mu
+}
+
+func (c *counter) snapshotLocked() (int, string) {
+	return c.n, c.last // caller-locked by convention
+}
+
+//pdwlint:allow lockdiscipline
+func (c *counter) Racy() int {
+	return c.n // deliberate: documented single-writer phase
+}
+
+type rw struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func (r *rw) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+func (r *rw) BadRead() int {
+	return r.v // want `rw.v is declared after mu`
+}
+
+type unguarded struct {
+	a, b int
+}
+
+func (u *unguarded) Sum() int {
+	return u.a + u.b
+}

@@ -1,0 +1,134 @@
+// Package sentinelwrap enforces the engine's error taxonomy: a
+// function that operates on DSQL steps or plans (a dsql.Step or
+// dsql.Plan in its parameters) and returns an error must not mint bare
+// fmt.Errorf values. Step-scoped failures carry retry/abort semantics,
+// so they must either wrap an underlying cause with %w (keeping the
+// sentinel chain intact for errors.Is) or be built through a
+// *StepError constructor. A bare fmt.Errorf breaks errors.Is(err,
+// ErrFaultInjected)-style dispatch in the retry loop.
+package sentinelwrap
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"pdwqo/internal/analysis"
+)
+
+const dsqlPkgPath = "pdwqo/internal/dsql"
+
+// Analyzer is the sentinelwrap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelwrap",
+	Doc:  "flag bare fmt.Errorf in step-scoped functions that must wrap StepError or %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !stepScoped(pass, fd) {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// stepScoped reports whether fd takes a dsql type and returns an error.
+func stepScoped(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	ft := fd.Type
+	if ft.Results == nil {
+		return false
+	}
+	returnsErr := false
+	for _, r := range ft.Results.List {
+		if t := pass.TypesInfo.Types[r.Type].Type; t != nil && t.String() == "error" {
+			returnsErr = true
+		}
+	}
+	if !returnsErr {
+		return false
+	}
+	for _, p := range ft.Params.List {
+		if t := pass.TypesInfo.Types[p.Type].Type; t != nil && mentionsDSQL(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func mentionsDSQL(t types.Type) bool {
+	s := t.String()
+	// Only the step/plan payload types mark a function step-scoped;
+	// other dsql-internal types (renderers, resolvers) carry the
+	// package path without carrying execution semantics.
+	return strings.Contains(s, dsqlPkgPath+".Step") || strings.Contains(s, dsqlPkgPath+".Plan")
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if returnsStepError(pass, call) {
+			// The error is being wrapped into a *StepError; anything
+			// inside the constructor call is sanctioned.
+			return false
+		}
+		if isFmtErrorf(pass, call) {
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+				format, err := strconv.Unquote(lit.Value)
+				if err == nil && !strings.Contains(format, "%w") {
+					pass.Reportf(call.Pos(),
+						"bare fmt.Errorf in a step-scoped function loses the error taxonomy; wrap the cause with %%w or build a *StepError")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isFmtErrorf(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Name() == "Errorf" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "fmt"
+}
+
+// returnsStepError reports whether the called function's results
+// include a *StepError.
+func returnsStepError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if strings.HasSuffix(sig.Results().At(i).Type().String(), ".StepError") {
+			return true
+		}
+	}
+	return false
+}

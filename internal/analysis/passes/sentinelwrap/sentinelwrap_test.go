@@ -1,0 +1,13 @@
+package sentinelwrap_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pdwqo/internal/analysis"
+	"pdwqo/internal/analysis/passes/sentinelwrap"
+)
+
+func TestSentinelWrap(t *testing.T) {
+	analysis.RunTest(t, filepath.Join("testdata", "src", "a"), sentinelwrap.Analyzer)
+}

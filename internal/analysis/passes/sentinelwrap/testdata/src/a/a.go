@@ -1,0 +1,46 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"pdwqo/internal/dsql"
+	"pdwqo/internal/engine"
+)
+
+var errBase = errors.New("base")
+
+func bad(step dsql.Step) error {
+	return fmt.Errorf("step %d failed", step.ID) // want `bare fmt.Errorf in a step-scoped function`
+}
+
+func badPlan(p *dsql.Plan) error {
+	if len(p.Steps) == 0 {
+		return fmt.Errorf("empty plan") // want `bare fmt.Errorf in a step-scoped function`
+	}
+	return nil
+}
+
+func goodWrap(step dsql.Step) error {
+	return fmt.Errorf("step %d: %w", step.ID, errBase)
+}
+
+func wrapStep(step dsql.Step, err error) *engine.StepError {
+	return &engine.StepError{Step: step.ID, Node: engine.NoNode, Err: err}
+}
+
+func goodConstructor(step dsql.Step) error {
+	return wrapStep(step, fmt.Errorf("hash column %q missing", step.HashCol))
+}
+
+func notStepScoped() error {
+	return fmt.Errorf("no step context here")
+}
+
+func noError(step dsql.Step) string {
+	return fmt.Sprintf("step %d", step.ID)
+}
+
+func allowed(step dsql.Step) error {
+	return fmt.Errorf("transient %d", step.ID) //pdwlint:allow sentinelwrap
+}

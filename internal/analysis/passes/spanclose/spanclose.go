@@ -1,0 +1,245 @@
+// Package spanclose flags trace spans that are started but may never
+// be ended. Every call to (*trace.Tracer).Begin or BeginUnder assigned
+// to a variable opens a window that runs to the variable's next
+// reassignment or the end of the function. A window is closed when the
+// span's End is deferred, when the span value escapes the function
+// (passed to a call, returned, or stored — the recipient then owns the
+// close), or when an End call on all lexical paths precedes every
+// return inside the window. A leaked span corrupts the trace tree the
+// EXPLAIN ANALYZE pipeline renders, so the optimizer's span discipline
+// is load-bearing, not cosmetic.
+package spanclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"pdwqo/internal/analysis"
+)
+
+const tracePkgPath = "pdwqo/internal/trace"
+
+// Analyzer is the spanclose pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanclose",
+	Doc:  "flag trace spans that are begun but not ended on every path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == tracePkgPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// window is one span lifetime: from the Begin assignment to the next
+// reassignment of the same variable (or function end).
+type window struct {
+	obj        types.Object
+	begin      token.Pos // the assignment starting the window
+	end        token.Pos // exclusive
+	hasDefer   bool
+	hasEscape  bool
+	endCalls   []token.Pos
+	returns    []token.Pos
+	reassigned bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Pass 1: every Begin/BeginUnder assignment opens a window.
+	var windows []*window
+	perObj := map[types.Object][]*window{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBeginCall(pass, call) {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		w := &window{obj: obj, begin: as.Pos(), end: fd.Body.End()}
+		windows = append(windows, w)
+		perObj[obj] = append(perObj[obj], w)
+		return true
+	})
+	if len(windows) == 0 {
+		return
+	}
+	// A reassignment truncates the previous window of the same variable.
+	for _, ws := range perObj {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].begin < ws[j].begin })
+		for i := 0; i+1 < len(ws); i++ {
+			ws[i].end = ws[i+1].begin
+			ws[i].reassigned = true
+		}
+	}
+	// Pass 2: attribute End calls, defers, escapes and returns.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if obj := endCallee(pass, n.Call); obj != nil {
+				for _, w := range lookup(perObj, obj, n.Pos()) {
+					w.hasDefer = true
+				}
+			}
+		case *ast.CallExpr:
+			if obj := endCallee(pass, n); obj != nil {
+				for _, w := range lookup(perObj, obj, n.Pos()) {
+					w.endCalls = append(w.endCalls, n.Pos())
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, ws := range perObj {
+				for _, w := range ws {
+					if n.Pos() >= w.begin && n.Pos() < w.end {
+						w.returns = append(w.returns, n.Pos())
+					}
+				}
+			}
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj == nil || perObj[obj] == nil {
+				return true
+			}
+			if isEscape(pass, fd, n) {
+				for _, w := range lookup(perObj, obj, n.Pos()) {
+					w.hasEscape = true
+				}
+			}
+		}
+		return true
+	})
+	for _, w := range windows {
+		reportWindow(pass, w)
+	}
+}
+
+// lookup finds the windows of obj containing pos.
+func lookup(perObj map[types.Object][]*window, obj types.Object, pos token.Pos) []*window {
+	var out []*window
+	for _, w := range perObj[obj] {
+		if pos >= w.begin && pos < w.end {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func reportWindow(pass *analysis.Pass, w *window) {
+	if w.hasDefer || w.hasEscape {
+		return
+	}
+	where := "function end"
+	if w.reassigned {
+		where = "reassignment"
+	}
+	if len(w.endCalls) == 0 {
+		pass.Reportf(w.begin,
+			"span %s is begun but never ended before %s; call End, defer it, or hand the span off",
+			w.obj.Name(), where)
+		return
+	}
+	sort.Slice(w.endCalls, func(i, j int) bool { return w.endCalls[i] < w.endCalls[j] })
+	for _, r := range w.returns {
+		if w.endCalls[0] >= r {
+			pass.Reportf(w.begin,
+				"span %s may leak: return at %s precedes every End in its window",
+				w.obj.Name(), pass.Fset.Position(r))
+			return
+		}
+	}
+}
+
+// isBeginCall reports whether call invokes trace.Tracer.Begin or
+// BeginUnder.
+func isBeginCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != tracePkgPath {
+		return false
+	}
+	return obj.Name() == "Begin" || obj.Name() == "BeginUnder"
+}
+
+// endCallee returns the span variable's object when call is
+// <ident>.End().
+func endCallee(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// isEscape reports whether the identifier use hands the span value to
+// other code: anything except a selector access (method call or field
+// read on the span) or being the target of an assignment.
+func isEscape(pass *analysis.Pass, fd *ast.FuncDecl, id *ast.Ident) bool {
+	path := enclosing(fd, id)
+	if len(path) < 2 {
+		return false
+	}
+	switch parent := path[len(path)-2].(type) {
+	case *ast.SelectorExpr:
+		return parent.X != id
+	case *ast.AssignStmt:
+		for _, l := range parent.Lhs {
+			if l == id {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// enclosing returns the node path from fd down to target.
+func enclosing(fd *ast.FuncDecl, target ast.Node) []ast.Node {
+	var path []ast.Node
+	var found []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil {
+			path = path[:len(path)-1]
+			return true
+		}
+		path = append(path, n)
+		if n == target {
+			found = append([]ast.Node(nil), path...)
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package spanclose_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pdwqo/internal/analysis"
+	"pdwqo/internal/analysis/passes/spanclose"
+)
+
+func TestSpanClose(t *testing.T) {
+	analysis.RunTest(t, filepath.Join("testdata", "src", "a"), spanclose.Analyzer)
+}

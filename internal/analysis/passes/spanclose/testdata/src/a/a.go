@@ -1,0 +1,81 @@
+package a
+
+import (
+	"errors"
+
+	"pdwqo/internal/trace"
+)
+
+var errBoom = errors.New("boom")
+
+func good(tr *trace.Tracer) {
+	sp := tr.Begin("x")
+	sp.End()
+}
+
+func goodDefer(tr *trace.Tracer) {
+	sp := tr.Begin("x")
+	defer sp.End()
+	sp.Int("k", 1)
+}
+
+func goodUnder(tr *trace.Tracer) {
+	parent := tr.Begin("p")
+	child := tr.BeginUnder(parent.ID(), "c")
+	child.End()
+	parent.End()
+}
+
+func leak(tr *trace.Tracer) {
+	sp := tr.Begin("x") // want `begun but never ended before function end`
+	sp.Int("k", 1)
+}
+
+func returnLeak(tr *trace.Tracer, fail bool) error {
+	sp := tr.Begin("x") // want `may leak: return at .* precedes every End`
+	if fail {
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+func reassignLeak(tr *trace.Tracer) {
+	sp := tr.Begin("a") // want `never ended before reassignment`
+	sp = tr.Begin("b")
+	sp.End()
+}
+
+func goodReassign(tr *trace.Tracer) {
+	sp := tr.Begin("a")
+	sp.End()
+	sp = tr.Begin("b")
+	sp.End()
+}
+
+func goodEscape(tr *trace.Tracer) {
+	sp := tr.Begin("x")
+	finish(sp)
+}
+
+func finish(sp trace.Active) {
+	sp.End()
+}
+
+func goodLexical(tr *trace.Tracer, fail bool) error {
+	sp := tr.Begin("x")
+	if fail {
+		sp.End()
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+// allowed keeps its span open on purpose; the tracer owns it.
+//
+//pdwlint:allow spanclose
+func allowed(tr *trace.Tracer) {
+	sp := tr.Begin("x")
+	sp.Int("k", 1)
+}

@@ -82,6 +82,22 @@ func Diff(db *pdwqo.DB, c Case, par int) error {
 	return diffResults(c.Name, par, sres, pres)
 }
 
+// Verify compiles one case with the static plan verifier enabled under
+// each option variant and returns the first verification failure. The
+// verifier cross-checks the optimized tree, the DSQL step sequence and
+// the serialized memo without executing, so a failure here is a planner
+// soundness bug, not a data bug.
+func Verify(db *pdwqo.DB, c Case, variants ...pdwqo.Options) error {
+	for _, opts := range variants {
+		opts.Verify = true
+		if _, err := db.Optimize(c.SQL, opts); err != nil {
+			return fmt.Errorf("%s (mode=%v budget=%d seeded=%v): %w",
+				c.Name, opts.Mode, opts.Budget, opts.SeedCollocated, err)
+		}
+	}
+	return nil
+}
+
 // diffResults asserts exact row-for-row equality. The engine's merges are
 // node- and source-ordered under any worker schedule, so even the float
 // low bits must agree; comparing sorted canonical rows as a fallback

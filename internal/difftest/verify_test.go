@@ -1,0 +1,54 @@
+package difftest
+
+import (
+	"testing"
+
+	"pdwqo"
+)
+
+// verifyVariants are the optimizer configurations swept by the static
+// verifier: the full PDW search, the serial-baseline winner projection,
+// and a budget-truncated seeded search whose early exit must still
+// produce a sound plan.
+func verifyVariants() []pdwqo.Options {
+	return []pdwqo.Options{
+		{Mode: pdwqo.ModeFull},
+		{Mode: pdwqo.ModeSerialBaseline},
+		{SeedCollocated: true, Budget: 50},
+	}
+}
+
+// TestVerifyTPCH statically verifies every TPC-H plan at each cluster
+// size: distribution soundness of the tree, dataflow soundness of the
+// step sequence, and memo-side invariants, all re-derived independently
+// of the optimizer's own rules.
+func TestVerifyTPCH(t *testing.T) {
+	nodes := []int{1, 2, 4, 8}
+	if testing.Short() {
+		nodes = []int{1, 4}
+	}
+	for _, n := range nodes {
+		db := openAppliance(t, n)
+		for _, c := range TPCHCases() {
+			if err := Verify(db, c, verifyVariants()...); err != nil {
+				t.Errorf("N=%d %v", n, err)
+			}
+		}
+	}
+}
+
+// TestVerifyFuzz sweeps the seeded random corpus through the verifier.
+func TestVerifyFuzz(t *testing.T) {
+	count, nodes := 40, []int{1, 2, 4, 8}
+	if testing.Short() {
+		count, nodes = 10, []int{4}
+	}
+	for _, n := range nodes {
+		db := openAppliance(t, n)
+		for _, c := range FuzzCases(count, 20260805) {
+			if err := Verify(db, c, verifyVariants()...); err != nil {
+				t.Errorf("N=%d %v", n, err)
+			}
+		}
+	}
+}

@@ -328,7 +328,7 @@ func (a *Appliance) ExecuteContext(ctx context.Context, p *dsql.Plan) (*Result, 
 			return res, nil
 		}
 	}
-	return nil, fmt.Errorf("engine: plan has no return step")
+	return nil, errors.New("engine: plan has no return step")
 }
 
 // runStep executes one DSQL step under the retry policy: idempotent
@@ -634,7 +634,8 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 			}
 		}
 		if hashPos < 0 {
-			return StepMetric{}, fmt.Errorf("hash column %q missing from destination", step.HashCol)
+			return StepMetric{}, stepError(step.ID, NoNode, ErrKindExec,
+				fmt.Errorf("hash column %q missing from destination", step.HashCol))
 		}
 	}
 
@@ -677,7 +678,8 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 	case cost.Trim:
 		// Node-local: each node keeps only rows it is responsible for.
 		if len(sources) != len(a.Compute) {
-			return StepMetric{}, fmt.Errorf("trim requires all compute nodes as sources")
+			return StepMetric{}, stepError(step.ID, NoNode, ErrKindExec,
+				errors.New("trim requires all compute nodes as sources"))
 		}
 		keeps := make([][]types.Row, len(rels))
 		perSrcHashed := make([]int64, len(rels))
@@ -722,7 +724,8 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 		batches = append(batches, batch{node: a.Control, rows: all})
 
 	default:
-		return StepMetric{}, fmt.Errorf("unsupported move kind %v", step.MoveKind)
+		return StepMetric{}, stepError(step.ID, NoNode, ErrKindExec,
+			fmt.Errorf("unsupported move kind %v", step.MoveKind))
 	}
 
 	// Deliver every batch into staging on the worker pool, tallying per

@@ -32,6 +32,25 @@ func TestDecodeMalformedXML(t *testing.T) {
 		{"non-numeric child ref",
 			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Join" children="2,x"/></Group></Memo>`,
 			"bad child group"},
+		{"duplicate group id",
+			`<Memo root="1" maxCol="1">` +
+				`<Group id="1"><Expr op="UnionAll"/></Group>` +
+				`<Group id="1"><Expr op="UnionAll"/></Group></Memo>`,
+			"duplicate group id 1"},
+		{"self-referential group",
+			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Select" children="1"/></Group></Memo>`,
+			"reference cycle"},
+		{"two-group cycle",
+			`<Memo root="1" maxCol="1">` +
+				`<Group id="1"><Expr op="Select" children="2"/></Group>` +
+				`<Group id="2"><Expr op="Select" children="1"/></Group></Memo>`,
+			"reference cycle"},
+		{"cycle detached from root",
+			`<Memo root="1" maxCol="1">` +
+				`<Group id="1"><Expr op="UnionAll"/></Group>` +
+				`<Group id="2"><Expr op="Select" children="3"/></Group>` +
+				`<Group id="3"><Expr op="Select" children="2"/></Group></Memo>`,
+			"reference cycle"},
 		{"unknown operator",
 			`<Memo root="1" maxCol="1"><Group id="1"><Expr op="Teleport"/></Group></Memo>`,
 			`unknown operator "Teleport"`},

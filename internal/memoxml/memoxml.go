@@ -479,6 +479,9 @@ func Decode(data []byte, shell *catalog.Shell) (*Decoded, error) {
 			}
 			g.Exprs = append(g.Exprs, e)
 		}
+		if _, dup := out.Groups[g.ID]; dup {
+			return nil, fmt.Errorf("memoxml: duplicate group id %d", g.ID)
+		}
 		out.Groups[g.ID] = g
 	}
 	if _, ok := out.Groups[out.Root]; !ok {
@@ -496,7 +499,49 @@ func Decode(data []byte, shell *catalog.Shell) (*Decoded, error) {
 			}
 		}
 	}
+	// The group graph must be acyclic: the bottom-up enumerator's
+	// topological order does not exist for a cyclic memo, and the cycle
+	// would otherwise surface as non-termination deep inside planning.
+	if cyc := findCycle(out); cyc >= 0 {
+		return nil, fmt.Errorf("memoxml: group %d participates in a reference cycle", cyc)
+	}
 	return out, nil
+}
+
+// findCycle returns a group id on a reference cycle, or -1 when the
+// group graph is acyclic. All groups are roots of the search, not just
+// the memo root, so cycles in detached subgraphs are rejected too.
+func findCycle(dec *Decoded) int {
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := map[int]uint8{}
+	var dfs func(id int) int
+	dfs = func(id int) int {
+		switch state[id] {
+		case visiting:
+			return id
+		case done:
+			return -1
+		}
+		state[id] = visiting
+		for _, e := range dec.Groups[id].Exprs {
+			for _, c := range e.Children {
+				if cyc := dfs(c); cyc >= 0 {
+					return cyc
+				}
+			}
+		}
+		state[id] = done
+		return -1
+	}
+	for id := range dec.Groups {
+		if cyc := dfs(id); cyc >= 0 {
+			return cyc
+		}
+	}
+	return -1
 }
 
 func decodeColMeta(c xCol) algebra.ColumnMeta {
@@ -571,6 +616,9 @@ func decodeOp(xe xExpr, shell *catalog.Shell) (algebra.Operator, error) {
 		}
 		return v, nil
 	case "Select":
+		if xe.Filter == nil {
+			return &algebra.Select{}, nil
+		}
 		f, err := decodeScalar(*xe.Filter)
 		if err != nil {
 			return nil, err

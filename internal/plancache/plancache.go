@@ -87,8 +87,8 @@ type flight struct {
 // Cache is the concurrent bounded LRU with singleflight and epochs.
 // The zero value is not usable; construct with New.
 type Cache struct {
+	capacity int // immutable after New; everything below mu is guarded by it
 	mu       sync.Mutex
-	capacity int
 	epoch    uint64 // highest epoch ever observed by Do
 	entries  map[string]*entry
 	order    *list.List // front = most recently used

@@ -1,0 +1,219 @@
+// Package planverify_test exercises the verifier against real compiled
+// plans: the clean TPC-H corpus must verify, and hand-mutated plans —
+// a swapped move destination, a dangling temp-table reference, a
+// dropped distribution enforcer — must each surface their distinct
+// typed violation. XML memo fixtures under testdata cover the
+// memo-side codes through the real decoder.
+package planverify_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdwqo"
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/catalog"
+	"pdwqo/internal/core"
+	"pdwqo/internal/dsql"
+	"pdwqo/internal/memoxml"
+	"pdwqo/internal/planverify"
+)
+
+// freshPlan compiles one TPC-H query on a private database so the test
+// can mutate the returned artifacts without poisoning shared state.
+func freshPlan(t *testing.T, name string) (*pdwqo.QueryPlan, *catalog.Shell) {
+	t.Helper()
+	db, err := pdwqo.OpenTPCH(0.01, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, ok := pdwqo.TPCHQuery(name)
+	if !ok {
+		t.Fatalf("unknown query %s", name)
+	}
+	qp, err := db.Optimize(sql, pdwqo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qp, db.Shell()
+}
+
+func checkAll(qp *pdwqo.QueryPlan, shell *catalog.Shell) *planverify.Report {
+	return planverify.Check(planverify.Artifacts{
+		Plan:  qp.Distributed,
+		DSQL:  qp.DSQL,
+		Shell: shell,
+	})
+}
+
+// TestCleanPlansVerify pins the baseline the mutation tests perturb.
+func TestCleanPlansVerify(t *testing.T) {
+	for _, name := range []string{"q03", "q05", "q10"} {
+		qp, shell := freshPlan(t, name)
+		if rep := checkAll(qp, shell); !rep.OK() {
+			t.Errorf("%s: clean plan rejected: %v", name, rep.Violations)
+		}
+	}
+}
+
+// findChainedMoves locates move steps i < j where step j's SQL reads
+// step i's destination temp.
+func findChainedMoves(steps []dsql.Step) (int, int, bool) {
+	for i := range steps {
+		if steps[i].Kind != dsql.StepMove || steps[i].Dest == "" {
+			continue
+		}
+		for j := i + 1; j < len(steps); j++ {
+			if steps[j].Kind == dsql.StepMove &&
+				strings.Contains(steps[j].SQL, "[tempdb].["+steps[i].Dest+"]") {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// TestMutationSwapMoveDest swaps the destinations of a producer move
+// and the downstream move that consumes it: the consumer then reads
+// the temp it now claims to produce, a use-before-def.
+func TestMutationSwapMoveDest(t *testing.T) {
+	for _, name := range pdwqo.TPCHQueryNames() {
+		qp, shell := freshPlan(t, name)
+		i, j, ok := findChainedMoves(qp.DSQL.Steps)
+		if !ok {
+			continue
+		}
+		steps := qp.DSQL.Steps
+		steps[i].Dest, steps[j].Dest = steps[j].Dest, steps[i].Dest
+		rep := checkAll(qp, shell)
+		if !rep.Has(planverify.CodeTempUseBeforeDef) {
+			t.Fatalf("%s: swapped move destinations not caught: %v", name, rep.Violations)
+		}
+		return
+	}
+	t.Fatal("no TPC-H query with chained move steps")
+}
+
+// TestMutationDanglingTemp rewrites one temp-table reference to a name
+// no step produces.
+func TestMutationDanglingTemp(t *testing.T) {
+	for _, name := range pdwqo.TPCHQueryNames() {
+		qp, shell := freshPlan(t, name)
+		mutated := false
+		for k := range qp.DSQL.Steps {
+			s := &qp.DSQL.Steps[k]
+			if idx := strings.Index(s.SQL, "[tempdb].[TEMP_ID_"); idx >= 0 {
+				end := strings.IndexByte(s.SQL[idx:], ']') + idx
+				s.SQL = s.SQL[:idx] + "[tempdb].[TEMP_ID_999" + s.SQL[end:]
+				mutated = true
+				break
+			}
+		}
+		if !mutated {
+			continue
+		}
+		rep := checkAll(qp, shell)
+		if !rep.Has(planverify.CodeTempUnknown) {
+			t.Fatalf("%s: dangling temp reference not caught: %v", name, rep.Violations)
+		}
+		return
+	}
+	t.Fatal("no TPC-H query referencing a temp table")
+}
+
+// TestMutationDropEnforcer splices a data movement out from under a
+// join, undoing the enforcer the optimizer inserted to make the join
+// distribution-correct. Only CheckPlan runs: the splice changes the
+// tree's movement multiset, so the tree/step cross-check would fire
+// too and drown the signal under test.
+func TestMutationDropEnforcer(t *testing.T) {
+	for _, name := range pdwqo.TPCHQueryNames() {
+		qp, _ := freshPlan(t, name)
+		var joins []*core.Option
+		seen := map[*core.Option]bool{}
+		var walk func(o *core.Option)
+		walk = func(o *core.Option) {
+			if o == nil || seen[o] {
+				return
+			}
+			seen[o] = true
+			if _, isJoin := o.Op.(*algebra.Join); isJoin {
+				joins = append(joins, o)
+			}
+			for _, in := range o.Inputs {
+				walk(in)
+			}
+		}
+		walk(qp.Distributed.Root)
+		for _, j := range joins {
+			for idx, in := range j.Inputs {
+				if in.Move == nil {
+					continue
+				}
+				j.Inputs[idx] = in.Inputs[0] // drop the enforcer
+				vs := planverify.CheckPlan(qp.Distributed)
+				j.Inputs[idx] = in // restore for the next candidate
+				for _, v := range vs {
+					if v.Code == planverify.CodeJoinNotCollocated {
+						return
+					}
+				}
+			}
+		}
+	}
+	t.Fatal("no dropped enforcer produced a collocation violation")
+}
+
+// TestMemoFixtures decodes the hand-written bad memos through the real
+// decoder and checks each yields its expected codes.
+func TestMemoFixtures(t *testing.T) {
+	shell := catalog.NewShell(2)
+	cases := []struct {
+		file string
+		want []planverify.Code
+	}{
+		{"memo_bad_estimate.xml", []planverify.Code{planverify.CodeMemoEstimate}},
+		{"memo_double_winner.xml", []planverify.Code{planverify.CodeWinnerDuplicate}},
+		{"memo_winner_dangling.xml", []planverify.Code{
+			planverify.CodeWinnerDangling, planverify.CodeMemoEmptyGroup}},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", c.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := memoxml.Decode(data, shell)
+			if err != nil {
+				t.Fatalf("fixture must survive decode (only planverify may reject it): %v", err)
+			}
+			vs := planverify.CheckMemo(dec)
+			for _, want := range c.want {
+				found := false
+				for _, v := range vs {
+					if v.Code == want {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("missing %s in %v", want, vs)
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizeVerifyOption exercises the public wiring: Verify on a
+// healthy query succeeds, and the typed error shape is recoverable.
+func TestOptimizeVerifyOption(t *testing.T) {
+	db, err := pdwqo.OpenTPCH(0.01, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, _ := pdwqo.TPCHQuery("q05")
+	if _, err := db.Optimize(sql, pdwqo.Options{Verify: true}); err != nil {
+		t.Fatalf("verified optimize failed: %v", err)
+	}
+}

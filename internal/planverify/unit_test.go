@@ -1,0 +1,586 @@
+package planverify
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/catalog"
+	"pdwqo/internal/core"
+	"pdwqo/internal/cost"
+	"pdwqo/internal/dsql"
+	"pdwqo/internal/memoxml"
+	"pdwqo/internal/sqlparser"
+	"pdwqo/internal/types"
+)
+
+// --- builders ---
+
+func cols(ids ...algebra.ColumnID) []algebra.ColumnMeta {
+	out := make([]algebra.ColumnMeta, len(ids))
+	for i, id := range ids {
+		out[i] = algebra.ColumnMeta{ID: id, Name: "", Type: types.KindInt}
+	}
+	return out
+}
+
+func relOpt(op algebra.Operator, dist core.Distribution, out []algebra.ColumnMeta, inputs ...*core.Option) *core.Option {
+	o := &core.Option{Op: op, Inputs: inputs, Dist: dist, Rows: 10, Width: 8, OutCols: out}
+	for _, in := range inputs {
+		o.DMSCost += in.DMSCost
+	}
+	return o
+}
+
+func moveOpt(kind cost.MoveKind, col algebra.ColumnID, dist core.Distribution, in *core.Option) *core.Option {
+	return &core.Option{
+		Move:    &core.MoveSpec{Kind: kind, Col: col},
+		Inputs:  []*core.Option{in},
+		Dist:    dist,
+		Rows:    in.Rows,
+		Width:   in.Width,
+		OutCols: in.OutCols,
+		DMSCost: in.DMSCost + 1,
+	}
+}
+
+func eq(a, b algebra.ColumnID) algebra.Scalar {
+	return &algebra.Binary{
+		Op: sqlparser.OpEq,
+		L:  &algebra.ColRef{ID: a, Meta: algebra.ColumnMeta{ID: a, Type: types.KindInt}},
+		R:  &algebra.ColRef{ID: b, Meta: algebra.ColumnMeta{ID: b, Type: types.KindInt}},
+	}
+}
+
+func baseHash(id algebra.ColumnID) *core.Option {
+	return relOpt(&algebra.Values{Cols: cols(id)}, core.HashOn(id), cols(id))
+}
+
+func codesOf(vs []Violation) map[Code]int {
+	out := map[Code]int{}
+	for _, v := range vs {
+		out[v.Code]++
+	}
+	return out
+}
+
+func wantCode(t *testing.T, vs []Violation, code Code) {
+	t.Helper()
+	if codesOf(vs)[code] == 0 {
+		t.Fatalf("expected %s, got %v", code, vs)
+	}
+}
+
+func wantClean(t *testing.T, vs []Violation) {
+	t.Helper()
+	if len(vs) != 0 {
+		t.Fatalf("expected clean, got %v", vs)
+	}
+}
+
+// --- CheckPlan ---
+
+func TestPlanCollocatedJoinClean(t *testing.T) {
+	l, r := baseHash(1), baseHash(2)
+	j := relOpt(&algebra.Join{Kind: algebra.JoinInner, On: eq(1, 2)},
+		core.HashOn(1, 2), cols(1, 2), l, r)
+	wantClean(t, CheckPlan(&core.Plan{Root: j}))
+}
+
+func TestPlanJoinNotCollocated(t *testing.T) {
+	l, r := baseHash(1), baseHash(2)
+	j := relOpt(&algebra.Join{Kind: algebra.JoinInner, On: eq(1, 3)},
+		core.HashOn(1), cols(1, 2), l, r)
+	wantCode(t, CheckPlan(&core.Plan{Root: j}), CodeJoinNotCollocated)
+}
+
+func TestPlanJoinPlacement(t *testing.T) {
+	// Single against hash crosses the control-node boundary.
+	s := relOpt(&algebra.Values{Cols: cols(1)}, core.Single(), cols(1))
+	h := baseHash(2)
+	j := relOpt(&algebra.Join{Kind: algebra.JoinInner, On: eq(1, 2)}, core.Single(), cols(1, 2), s, h)
+	wantCode(t, CheckPlan(&core.Plan{Root: j}), CodeJoinPlacement)
+
+	// Full outer over a replicated right side.
+	rep := relOpt(&algebra.Values{Cols: cols(3)}, core.Replicated(), cols(3))
+	fo := relOpt(&algebra.Join{Kind: algebra.JoinFullOuter, On: eq(2, 3)},
+		core.HashOn(2), cols(2, 3), baseHash(2), rep)
+	wantCode(t, CheckPlan(&core.Plan{Root: fo}), CodeJoinPlacement)
+
+	// Left outer with replicated left over partitioned right.
+	lo := relOpt(&algebra.Join{Kind: algebra.JoinLeftOuter, On: eq(3, 2)},
+		core.HashOn(2), cols(3, 2), rep, baseHash(2))
+	wantCode(t, CheckPlan(&core.Plan{Root: lo}), CodeJoinPlacement)
+
+	// Replicated left inner join and single-single are fine.
+	ok1 := relOpt(&algebra.Join{Kind: algebra.JoinInner, On: eq(3, 2)},
+		core.HashOn(2), cols(3, 2), rep, baseHash(2))
+	wantClean(t, CheckPlan(&core.Plan{Root: ok1}))
+	s2 := relOpt(&algebra.Values{Cols: cols(4)}, core.Single(), cols(4))
+	ok2 := relOpt(&algebra.Join{Kind: algebra.JoinCross}, core.Single(), cols(1, 4), s, s2)
+	wantClean(t, CheckPlan(&core.Plan{Root: ok2}))
+	// Replicated pairs and hash-replicated inner joins are fine too.
+	rep2 := relOpt(&algebra.Values{Cols: cols(5)}, core.Replicated(), cols(5))
+	ok3 := relOpt(&algebra.Join{Kind: algebra.JoinLeftOuter, On: eq(2, 3)},
+		core.HashOn(2), cols(2, 3), baseHash(2), rep)
+	wantClean(t, CheckPlan(&core.Plan{Root: ok3}))
+	ok4 := relOpt(&algebra.Join{Kind: algebra.JoinInner, On: eq(3, 5)},
+		core.Replicated(), cols(3, 5), rep, rep2)
+	wantClean(t, CheckPlan(&core.Plan{Root: ok4}))
+}
+
+func TestPlanGroupByPlacement(t *testing.T) {
+	in := baseHash(1)
+	// Complete aggregation keyed off the partitioning column: fine.
+	okGB := relOpt(&algebra.GroupBy{Keys: []algebra.ColumnID{1}}, core.HashOn(1), cols(1), in)
+	wantClean(t, CheckPlan(&core.Plan{Root: okGB}))
+	// Keyed on a non-partitioning column: groups split across nodes.
+	bad := relOpt(&algebra.GroupBy{Keys: []algebra.ColumnID{2}}, core.HashOn(1), cols(1, 2),
+		relOpt(&algebra.Values{Cols: cols(1, 2)}, core.HashOn(1), cols(1, 2)))
+	wantCode(t, CheckPlan(&core.Plan{Root: bad}), CodeGroupByPlacement)
+	// Keyless aggregation over a distributed input.
+	scalar := relOpt(&algebra.GroupBy{}, core.HashOn(1), cols(1), in)
+	wantCode(t, CheckPlan(&core.Plan{Root: scalar}), CodeGroupByPlacement)
+	// A local (partial) aggregation is correct anywhere.
+	local := relOpt(&algebra.GroupBy{Keys: []algebra.ColumnID{2}, Phase: algebra.AggLocal},
+		core.HashOn(1), cols(1, 2),
+		relOpt(&algebra.Values{Cols: cols(1, 2)}, core.HashOn(1), cols(1, 2)))
+	wantClean(t, CheckPlan(&core.Plan{Root: local}))
+	// Replicated and single inputs always aggregate correctly.
+	repIn := relOpt(&algebra.Values{Cols: cols(3)}, core.Replicated(), cols(3))
+	repGB := relOpt(&algebra.GroupBy{Keys: []algebra.ColumnID{3}}, core.Replicated(), cols(3), repIn)
+	wantClean(t, CheckPlan(&core.Plan{Root: repGB}))
+}
+
+func TestPlanUnionPlacement(t *testing.T) {
+	l := baseHash(1)
+	r := relOpt(&algebra.Values{Cols: cols(1)}, core.Replicated(), cols(1))
+	u := relOpt(&algebra.UnionAll{}, core.HashOn(1), cols(1), l, r)
+	wantCode(t, CheckPlan(&core.Plan{Root: u}), CodeUnionPlacement)
+	ok := relOpt(&algebra.UnionAll{}, core.HashOn(1), cols(1), l, baseHash(1))
+	wantClean(t, CheckPlan(&core.Plan{Root: ok}))
+}
+
+func TestPlanMoveChecks(t *testing.T) {
+	in := baseHash(1)
+	// A well-formed shuffle.
+	wantClean(t, CheckPlan(&core.Plan{Root: moveOpt(cost.Shuffle, 1, core.HashOn(1), in)}))
+	// Shuffle whose output placement misses the routing column.
+	m := moveOpt(cost.Shuffle, 2, core.HashOn(1), in)
+	wantCode(t, CheckPlan(&core.Plan{Root: m}), CodeMoveDistribution)
+	// Broadcast claiming a hash output placement.
+	b := moveOpt(cost.Broadcast, 0, core.HashOn(1), in)
+	wantCode(t, CheckPlan(&core.Plan{Root: b}), CodeMoveDistribution)
+	// Trim over a hash input (needs a replicated source).
+	tr := moveOpt(cost.Trim, 1, core.HashOn(1), in)
+	wantCode(t, CheckPlan(&core.Plan{Root: tr}), CodeMoveSource)
+	// The remaining clean kind pairings.
+	rep := relOpt(&algebra.Values{Cols: cols(1)}, core.Replicated(), cols(1))
+	single := relOpt(&algebra.Values{Cols: cols(1)}, core.Single(), cols(1))
+	for _, okm := range []*core.Option{
+		moveOpt(cost.Broadcast, 0, core.Replicated(), in),
+		moveOpt(cost.PartitionMove, 0, core.Single(), in),
+		moveOpt(cost.Trim, 1, core.HashOn(1), rep),
+		moveOpt(cost.RemoteCopySingle, 0, core.Single(), rep),
+		moveOpt(cost.ReplicatedBroadcast, 0, core.Replicated(), rep),
+		moveOpt(cost.ControlNodeMove, 0, core.Replicated(), single),
+	} {
+		wantClean(t, CheckPlan(&core.Plan{Root: okm}))
+	}
+	// An out-of-range kind is malformed.
+	u := moveOpt(cost.MoveKind(200), 0, core.HashOn(1), in)
+	wantCode(t, CheckPlan(&core.Plan{Root: u}), CodeMalformedOption)
+}
+
+func TestPlanMalformedOptions(t *testing.T) {
+	wantCode(t, CheckPlan(nil), CodeMalformedOption)
+	wantCode(t, CheckPlan(&core.Plan{}), CodeMalformedOption)
+	empty := &core.Option{Dist: core.Single()}
+	wantCode(t, CheckPlan(&core.Plan{Root: empty}), CodeMalformedOption)
+	both := &core.Option{Op: &algebra.UnionAll{}, Move: &core.MoveSpec{Kind: cost.Broadcast}, Dist: core.Single()}
+	wantCode(t, CheckPlan(&core.Plan{Root: both}), CodeMalformedOption)
+	in := baseHash(1)
+	badArity := relOpt(&algebra.Join{Kind: algebra.JoinInner}, core.HashOn(1), cols(1), in)
+	wantCode(t, CheckPlan(&core.Plan{Root: badArity}), CodeMalformedOption)
+	badGB := relOpt(&algebra.GroupBy{}, core.HashOn(1), cols(1), in, in)
+	wantCode(t, CheckPlan(&core.Plan{Root: badGB}), CodeMalformedOption)
+	badUnion := relOpt(&algebra.UnionAll{}, core.HashOn(1), cols(1), in)
+	wantCode(t, CheckPlan(&core.Plan{Root: badUnion}), CodeMalformedOption)
+	badMove := &core.Option{Move: &core.MoveSpec{Kind: cost.Broadcast}, Dist: core.Replicated(), Inputs: []*core.Option{in, in}}
+	wantCode(t, CheckPlan(&core.Plan{Root: badMove}), CodeMalformedOption)
+}
+
+func TestPlanEstimates(t *testing.T) {
+	neg := baseHash(1)
+	neg.Rows = -4
+	wantCode(t, CheckPlan(&core.Plan{Root: neg}), CodeEstimateNegative)
+	nan := baseHash(1)
+	nan.Width = math.NaN()
+	wantCode(t, CheckPlan(&core.Plan{Root: nan}), CodeEstimateNegative)
+	// A parent undercutting its input's cumulative cost.
+	in := baseHash(1)
+	in.DMSCost = 9
+	cheap := moveOpt(cost.Shuffle, 1, core.HashOn(1), in)
+	cheap.DMSCost = 2
+	wantCode(t, CheckPlan(&core.Plan{Root: cheap}), CodeEstimateNegative)
+	// Plan-level costs.
+	wantCode(t, CheckPlan(&core.Plan{Root: baseHash(1), TotalCost: -1}), CodeEstimateNegative)
+}
+
+func TestPlanHashColsNotOutput(t *testing.T) {
+	o := relOpt(&algebra.Values{Cols: cols(1)}, core.HashOn(7), cols(1))
+	wantCode(t, CheckPlan(&core.Plan{Root: o}), CodeHashColsNotOutput)
+}
+
+func TestPlanSharedSubplanCheckedOnce(t *testing.T) {
+	shared := baseHash(1)
+	shared.Rows = -1 // one violation even though referenced twice
+	u := relOpt(&algebra.UnionAll{}, core.HashOn(1), cols(1), shared, shared)
+	vs := CheckPlan(&core.Plan{Root: u})
+	if n := codesOf(vs)[CodeEstimateNegative]; n != 1 {
+		t.Fatalf("shared subplan reported %d times: %v", n, vs)
+	}
+}
+
+// --- CheckDSQL ---
+
+func testShell(t *testing.T) *catalog.Shell {
+	t.Helper()
+	sh := catalog.NewShell(4)
+	err := sh.AddTable(&catalog.Table{
+		Name:    "nation",
+		Columns: []catalog.Column{{Name: "n_nationkey", Type: types.KindInt}},
+		Dist:    catalog.Distribution{Kind: catalog.DistReplicated},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func moveStep(id int, dest, sql string) dsql.Step {
+	return dsql.Step{
+		ID: id, Kind: dsql.StepMove, SQL: sql, Where: core.DistHash,
+		Idempotent: true, MoveKind: cost.Shuffle, HashCol: "c1", Dest: dest,
+		DestCols: []catalog.Column{{Name: "c1", Type: types.KindInt}},
+	}
+}
+
+func returnStep(id int, sql string) dsql.Step {
+	return dsql.Step{ID: id, Kind: dsql.StepReturn, SQL: sql, Where: core.DistHash}
+}
+
+func TestDSQLCleanSequence(t *testing.T) {
+	p := &dsql.Plan{Steps: []dsql.Step{
+		moveStep(0, "TEMP_ID_1", "SELECT l_orderkey AS c1 FROM [dbo].[nation] AS T1"),
+		moveStep(1, "TEMP_ID_2", "SELECT c1 FROM [tempdb].[TEMP_ID_1]"),
+		returnStep(2, "SELECT c1 FROM [tempdb].[TEMP_ID_2]"),
+	}}
+	wantClean(t, CheckDSQL(p, nil, testShell(t)))
+}
+
+func TestDSQLReturnShape(t *testing.T) {
+	wantCode(t, CheckDSQL(nil, nil, nil), CodeReturnMissing)
+	wantCode(t, CheckDSQL(&dsql.Plan{}, nil, nil), CodeReturnMissing)
+	noReturn := &dsql.Plan{Steps: []dsql.Step{moveStep(0, "TEMP_ID_1", "SELECT 1 AS c1")}}
+	vs := CheckDSQL(noReturn, nil, nil)
+	wantCode(t, vs, CodeReturnMissing)
+	wantCode(t, vs, CodeTempOrphan)
+	early := &dsql.Plan{Steps: []dsql.Step{
+		returnStep(0, "SELECT 1 AS c1"),
+		moveStep(1, "TEMP_ID_1", "SELECT 1 AS c1"),
+	}}
+	wantCode(t, CheckDSQL(early, nil, nil), CodeReturnNotLast)
+	double := &dsql.Plan{Steps: []dsql.Step{
+		returnStep(0, "SELECT 1 AS c1"),
+		returnStep(1, "SELECT 1 AS c1"),
+	}}
+	wantCode(t, CheckDSQL(double, nil, nil), CodeReturnNotLast)
+}
+
+func TestDSQLStepIDOrder(t *testing.T) {
+	p := &dsql.Plan{Steps: []dsql.Step{
+		moveStep(1, "TEMP_ID_1", "SELECT 1 AS c1"),
+		returnStep(0, "SELECT c1 FROM [tempdb].[TEMP_ID_1]"),
+	}}
+	wantCode(t, CheckDSQL(p, nil, nil), CodeStepIDOrder)
+}
+
+func TestDSQLTempFlow(t *testing.T) {
+	// Use before def: the reader precedes the producer.
+	p := &dsql.Plan{Steps: []dsql.Step{
+		moveStep(0, "TEMP_ID_2", "SELECT c1 FROM [tempdb].[TEMP_ID_1]"),
+		moveStep(1, "TEMP_ID_1", "SELECT 1 AS c1"),
+		returnStep(2, "SELECT c1 FROM [tempdb].[TEMP_ID_2], [tempdb].[TEMP_ID_1]"),
+	}}
+	wantCode(t, CheckDSQL(p, nil, nil), CodeTempUseBeforeDef)
+
+	// Dangling reference.
+	dangling := &dsql.Plan{Steps: []dsql.Step{
+		moveStep(0, "TEMP_ID_1", "SELECT 1 AS c1"),
+		returnStep(1, "SELECT c1 FROM [tempdb].[TEMP_ID_1], [tempdb].[TEMP_ID_9]"),
+	}}
+	wantCode(t, CheckDSQL(dangling, nil, nil), CodeTempUnknown)
+
+	// Redefinition.
+	redef := &dsql.Plan{Steps: []dsql.Step{
+		moveStep(0, "TEMP_ID_1", "SELECT 1 AS c1"),
+		moveStep(1, "TEMP_ID_1", "SELECT 1 AS c1"),
+		returnStep(2, "SELECT c1 FROM [tempdb].[TEMP_ID_1]"),
+	}}
+	wantCode(t, CheckDSQL(redef, nil, nil), CodeTempRedefined)
+
+	// Orphan.
+	orphan := &dsql.Plan{Steps: []dsql.Step{
+		moveStep(0, "TEMP_ID_1", "SELECT 1 AS c1"),
+		returnStep(1, "SELECT 1 AS c1"),
+	}}
+	wantCode(t, CheckDSQL(orphan, nil, nil), CodeTempOrphan)
+
+	// A step reading its own destination is use-before-def.
+	selfRead := &dsql.Plan{Steps: []dsql.Step{
+		moveStep(0, "TEMP_ID_1", "SELECT c1 FROM [tempdb].[TEMP_ID_1]"),
+		returnStep(1, "SELECT c1 FROM [tempdb].[TEMP_ID_1]"),
+	}}
+	wantCode(t, CheckDSQL(selfRead, nil, nil), CodeTempUseBeforeDef)
+}
+
+func TestDSQLMoveStepShape(t *testing.T) {
+	base := func() dsql.Step { return moveStep(0, "TEMP_ID_1", "SELECT 1 AS c1") }
+	ret := func() dsql.Step { return returnStep(1, "SELECT c1 FROM [tempdb].[TEMP_ID_1]") }
+
+	noDest := base()
+	noDest.Dest = ""
+	vs := CheckDSQL(&dsql.Plan{Steps: []dsql.Step{noDest, ret()}}, nil, nil)
+	wantCode(t, vs, CodeMoveStepShape)
+
+	notIdem := base()
+	notIdem.Idempotent = false
+	wantCode(t, CheckDSQL(&dsql.Plan{Steps: []dsql.Step{notIdem, ret()}}, nil, nil), CodeMoveStepShape)
+
+	badSrc := base()
+	badSrc.Where = core.DistReplicated // a Shuffle consumes hash placements
+	wantCode(t, CheckDSQL(&dsql.Plan{Steps: []dsql.Step{badSrc, ret()}}, nil, nil), CodeMoveStepShape)
+
+	noHash := base()
+	noHash.HashCol = ""
+	wantCode(t, CheckDSQL(&dsql.Plan{Steps: []dsql.Step{noHash, ret()}}, nil, nil), CodeMoveStepShape)
+
+	wrongHash := base()
+	wrongHash.HashCol = "c9"
+	wantCode(t, CheckDSQL(&dsql.Plan{Steps: []dsql.Step{wrongHash, ret()}}, nil, nil), CodeMoveStepShape)
+
+	badKind := base()
+	badKind.MoveKind = cost.MoveKind(200)
+	wantCode(t, CheckDSQL(&dsql.Plan{Steps: []dsql.Step{badKind, ret()}}, nil, nil), CodeMoveStepShape)
+
+	stray := base()
+	stray.MoveKind = cost.Broadcast // keeps HashCol "c1" → stray routing column
+	wantCode(t, CheckDSQL(&dsql.Plan{Steps: []dsql.Step{stray, ret()}}, nil, nil), CodeMoveStepShape)
+
+	destOnReturn := ret()
+	destOnReturn.ID = 1
+	destOnReturn.Dest = "TEMP_ID_9"
+	wantCode(t, CheckDSQL(&dsql.Plan{Steps: []dsql.Step{base(), destOnReturn}}, nil, nil), CodeMoveStepShape)
+}
+
+func TestDSQLUnknownBaseTable(t *testing.T) {
+	p := &dsql.Plan{Steps: []dsql.Step{
+		returnStep(0, "SELECT n_nationkey FROM [dbo].[nosuch] AS T1"),
+	}}
+	wantCode(t, CheckDSQL(p, nil, testShell(t)), CodeUnknownBaseTable)
+}
+
+func TestDSQLMoveSetMismatch(t *testing.T) {
+	in := baseHash(1)
+	tree := &core.Plan{Root: moveOpt(cost.Shuffle, 1, core.HashOn(1), in)}
+	// Step list claims a Broadcast the tree does not have, and misses the
+	// tree's Shuffle.
+	b := moveStep(0, "TEMP_ID_1", "SELECT 1 AS c1")
+	b.MoveKind = cost.Broadcast
+	b.HashCol = ""
+	p := &dsql.Plan{Steps: []dsql.Step{b, returnStep(1, "SELECT c1 FROM [tempdb].[TEMP_ID_1]")}}
+	vs := CheckDSQL(p, tree, nil)
+	if codesOf(vs)[CodeMoveSetMismatch] < 2 {
+		t.Fatalf("expected both directions of the mismatch, got %v", vs)
+	}
+}
+
+// --- CheckMemo / CheckInteresting ---
+
+func valuesExpr(children ...int) memoxml.DecodedExpr {
+	return memoxml.DecodedExpr{Op: &algebra.Values{Cols: cols(1)}, Children: children}
+}
+
+func TestMemoChecks(t *testing.T) {
+	wantCode(t, CheckMemo(nil), CodeMemoRootMissing)
+
+	missingRoot := &memoxml.Decoded{Root: 9, Groups: map[int]*memoxml.DecodedGroup{}}
+	wantCode(t, CheckMemo(missingRoot), CodeMemoRootMissing)
+
+	dangling := &memoxml.Decoded{Root: 1, Groups: map[int]*memoxml.DecodedGroup{
+		1: {ID: 1, Exprs: []memoxml.DecodedExpr{valuesExpr(2)}},
+	}}
+	wantCode(t, CheckMemo(dangling), CodeMemoDanglingChild)
+
+	cyclic := &memoxml.Decoded{Root: 1, Groups: map[int]*memoxml.DecodedGroup{
+		1: {ID: 1, Exprs: []memoxml.DecodedExpr{valuesExpr(2)}},
+		2: {ID: 2, Exprs: []memoxml.DecodedExpr{valuesExpr(1)}},
+	}}
+	wantCode(t, CheckMemo(cyclic), CodeMemoCycle)
+
+	empty := &memoxml.Decoded{Root: 1, Groups: map[int]*memoxml.DecodedGroup{
+		1: {ID: 1},
+	}}
+	wantCode(t, CheckMemo(empty), CodeMemoEmptyGroup)
+
+	negCost := &memoxml.Decoded{Root: 1, Groups: map[int]*memoxml.DecodedGroup{
+		1: {ID: 1, Exprs: []memoxml.DecodedExpr{{Op: &algebra.Values{Cols: cols(1)}, Cost: -3}}},
+	}}
+	wantCode(t, CheckMemo(negCost), CodeMemoEstimate)
+
+	badStats := &memoxml.Decoded{Root: 1, Groups: map[int]*memoxml.DecodedGroup{
+		1: {ID: 1, Exprs: []memoxml.DecodedExpr{valuesExpr()},
+			ColStats: map[algebra.ColumnID]memoxml.DecodedColStat{1: {NDV: 5, NullFrac: 1.5}}},
+	}}
+	wantCode(t, CheckMemo(badStats), CodeMemoEstimate)
+
+	clean := &memoxml.Decoded{Root: 1, Groups: map[int]*memoxml.DecodedGroup{
+		1: {ID: 1, Rows: 5, Width: 8, Exprs: []memoxml.DecodedExpr{valuesExpr(2)}},
+		2: {ID: 2, Rows: 5, Width: 8, Exprs: []memoxml.DecodedExpr{valuesExpr()},
+			ColStats: map[algebra.ColumnID]memoxml.DecodedColStat{1: {NDV: 5, NullFrac: 0.1, Width: 8}}},
+	}}
+	wantClean(t, CheckMemo(clean))
+}
+
+func TestMemoWinnerChecks(t *testing.T) {
+	win := valuesExpr(2)
+	win.Winner = true
+	dangling := &memoxml.Decoded{Root: 1, Groups: map[int]*memoxml.DecodedGroup{
+		1: {ID: 1, Exprs: []memoxml.DecodedExpr{win}},
+		2: {ID: 2}, // no expressions to extract from
+	}}
+	vs := CheckMemo(dangling)
+	wantCode(t, vs, CodeWinnerDangling)
+
+	w1, w2 := valuesExpr(), valuesExpr()
+	w1.Winner, w2.Winner = true, true
+	double := &memoxml.Decoded{Root: 1, Groups: map[int]*memoxml.DecodedGroup{
+		1: {ID: 1, Exprs: []memoxml.DecodedExpr{w1, w2}},
+	}}
+	wantCode(t, CheckMemo(double), CodeWinnerDuplicate)
+}
+
+// interestingMemo is a two-table equijoin memo: group 3 joins groups 1
+// and 2 on c1 = c2, and group 4 aggregates group 3 by c1.
+func interestingMemo() *memoxml.Decoded {
+	g1 := &memoxml.DecodedGroup{ID: 1, OutCols: cols(1), Exprs: []memoxml.DecodedExpr{valuesExpr()}}
+	g2 := &memoxml.DecodedGroup{ID: 2, OutCols: cols(2), Exprs: []memoxml.DecodedExpr{valuesExpr()}}
+	join := memoxml.DecodedExpr{
+		Op:       &algebra.Join{Kind: algebra.JoinInner, On: eq(1, 2)},
+		Children: []int{1, 2},
+	}
+	g3 := &memoxml.DecodedGroup{ID: 3, OutCols: cols(1, 2), Exprs: []memoxml.DecodedExpr{join}}
+	gb := memoxml.DecodedExpr{
+		Op:       &algebra.GroupBy{Keys: []algebra.ColumnID{1}},
+		Children: []int{3},
+	}
+	g4 := &memoxml.DecodedGroup{ID: 4, OutCols: cols(1), Exprs: []memoxml.DecodedExpr{gb}}
+	return &memoxml.Decoded{Root: 4, Groups: map[int]*memoxml.DecodedGroup{1: g1, 2: g2, 3: g3, 4: g4}}
+}
+
+func TestInterestingClosure(t *testing.T) {
+	dec := interestingMemo()
+	full := map[int][]algebra.ColumnID{
+		1: {1}, 2: {2}, 3: {1, 2}, 4: {1},
+	}
+	lookup := func(m map[int][]algebra.ColumnID) func(int) []algebra.ColumnID {
+		return func(g int) []algebra.ColumnID { return m[g] }
+	}
+	wantClean(t, CheckInteresting(dec, lookup(full)))
+
+	// Dropping the equijoin column from a child breaks transitivity.
+	noJoinCol := map[int][]algebra.ColumnID{1: {1}, 2: nil, 3: {1, 2}, 4: {1}}
+	wantCode(t, CheckInteresting(dec, lookup(noJoinCol)), CodeInterestingNotClosed)
+
+	// Dropping the group-by key from the aggregation's child.
+	noKey := map[int][]algebra.ColumnID{1: {1}, 2: {2}, 3: {2}, 4: {1}}
+	wantCode(t, CheckInteresting(dec, lookup(noKey)), CodeInterestingNotClosed)
+
+	// Parent demand: group 4 finds c1 interesting, so group 3 must too.
+	vs := CheckInteresting(dec, lookup(noKey))
+	found := false
+	for _, v := range vs {
+		if v.Group == 3 && strings.Contains(v.Detail, "c1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a group-3 closure violation, got %v", vs)
+	}
+
+	// Physical expressions are outside the PDW planning surface.
+	phys := memoxml.DecodedExpr{
+		Op:       &algebra.Join{Kind: algebra.JoinInner, On: eq(1, 2)},
+		Children: []int{1, 2},
+		Physical: true,
+	}
+	dec.Groups[3].Exprs = append(dec.Groups[3].Exprs, phys)
+	wantClean(t, CheckInteresting(dec, lookup(full)))
+}
+
+// --- Check / Report / Error ---
+
+func TestReportAndError(t *testing.T) {
+	r := &Report{}
+	if !r.OK() || r.Err() != nil {
+		t.Fatal("empty report must be clean")
+	}
+	bad := baseHash(1)
+	bad.Rows = -1
+	rep := Check(Artifacts{Plan: &core.Plan{Root: bad}})
+	if rep.OK() {
+		t.Fatal("expected violations")
+	}
+	if !rep.Has(CodeEstimateNegative) || rep.Has(CodeMemoCycle) {
+		t.Fatalf("Has misreports: %v", rep.Violations)
+	}
+	err := rep.Err()
+	var verr *Error
+	if !errors.As(err, &verr) {
+		t.Fatalf("Err must be a typed *Error, got %T", err)
+	}
+	if !strings.Contains(err.Error(), string(CodeEstimateNegative)) {
+		t.Fatalf("error text misses the code: %s", err)
+	}
+	// Violation coordinates render.
+	v := stepViolation(CodeTempOrphan, 3, "x")
+	if !strings.Contains(v.String(), "step=3") {
+		t.Fatalf("bad step rendering: %s", v)
+	}
+	gv := groupViolation(CodeMemoCycle, 7, "y")
+	if !strings.Contains(gv.String(), "group=7") {
+		t.Fatalf("bad group rendering: %s", gv)
+	}
+}
+
+func TestCheckAllLayers(t *testing.T) {
+	// One artifact per layer, each broken, all surfaced in one report.
+	badPlan := baseHash(1)
+	badPlan.Rows = -1
+	p := &dsql.Plan{Steps: []dsql.Step{returnStep(0, "SELECT 1 AS c1")}}
+	dec := &memoxml.Decoded{Root: 9, Groups: map[int]*memoxml.DecodedGroup{}}
+	rep := Check(Artifacts{
+		Plan:        &core.Plan{Root: badPlan},
+		DSQL:        p,
+		Memo:        dec,
+		Interesting: func(int) []algebra.ColumnID { return nil },
+	})
+	for _, code := range []Code{CodeEstimateNegative, CodeMemoRootMissing} {
+		if !rep.Has(code) {
+			t.Fatalf("missing %s in %v", code, rep.Violations)
+		}
+	}
+}

@@ -90,7 +90,10 @@ func (c *Column) SelectivityRange(lo, hi types.Value, incLo, incHi bool) float64
 
 // overlapRows estimates how many rows of bucket b (spanning (bLo, bHi], or
 // [bLo, bHi] when closedLo) fall inside the query interval, interpolating
-// linearly for numeric/date bounds.
+// linearly for numeric/date bounds. SelectivityRange already rejected
+// kind-incomparable bounds, so raw ordering is well-defined here.
+//
+//pdwlint:allow comparechecked
 func overlapRows(b Bucket, bLo, bHi, lo, hi types.Value, incLo, incHi, closedLo bool) float64 {
 	_ = closedLo
 	// Fully below or above the interval?

@@ -56,7 +56,11 @@ func (t *Table) Column(name string) *Column {
 	return t.Columns[strings.ToLower(name)]
 }
 
-// BuildColumn computes full statistics for one column's values.
+// BuildColumn computes full statistics for one column's values. All
+// values come from one column and share a kind, so raw ordering is
+// well-defined.
+//
+//pdwlint:allow comparechecked
 func BuildColumn(values []types.Value) *Column {
 	c := &Column{RowCount: float64(len(values))}
 	nonNull := make([]types.Value, 0, len(values))
@@ -176,7 +180,10 @@ func MergeTables(locals []*Table, hashColumn string) *Table {
 }
 
 // mergeColumns merges local column histograms into one global histogram by
-// pooling bucket boundaries and re-bucketing counts.
+// pooling bucket boundaries and re-bucketing counts. Every input histogram
+// describes the same column, so the bounds share a kind.
+//
+//pdwlint:allow comparechecked
 func mergeColumns(cols []*Column, disjointNDV bool) *Column {
 	g := &Column{}
 	widthWeight := 0.0
@@ -273,6 +280,9 @@ func mergeColumns(cols []*Column, disjointNDV bool) *Column {
 
 // spreadBucket apportions a local bucket (covering (lo, b.UpperBound]) into
 // the merged steps it overlaps, splitting rows evenly across those steps.
+// All bounds belong to one column's histograms and share a kind.
+//
+//pdwlint:allow comparechecked
 func spreadBucket(merged []Bucket, lo types.Value, b Bucket, ndvScale float64) {
 	var targets []int
 	prev := types.Null

@@ -61,10 +61,10 @@ type Span struct {
 // Tracer records spans and counters for one pipeline run. Safe for
 // concurrent use; a nil Tracer is the disabled tracer.
 type Tracer struct {
+	epoch time.Time // immutable after New
+	reg   *Registry // immutable after New; Registry is internally synchronized
 	mu    sync.Mutex
-	epoch time.Time
 	spans []Span
-	reg   *Registry
 }
 
 // New builds an enabled tracer with a fresh counter registry.

@@ -31,6 +31,7 @@ import (
 	"pdwqo/internal/memoxml"
 	"pdwqo/internal/normalize"
 	"pdwqo/internal/plancache"
+	"pdwqo/internal/planverify"
 	"pdwqo/internal/sqlparser"
 	"pdwqo/internal/tpch"
 	"pdwqo/internal/trace"
@@ -68,6 +69,13 @@ type (
 	PlanCache = plancache.Cache
 	// PlanCacheMetrics is a snapshot of the cache's lifetime counters.
 	PlanCacheMetrics = plancache.Metrics
+	// VerifyError is the typed failure Optimize returns when
+	// Options.Verify finds invariant violations (errors.As target).
+	VerifyError = planverify.Error
+	// VerifyViolation is one detected plan invariant breach.
+	VerifyViolation = planverify.Violation
+	// VerifyCode classifies a violation (see internal/planverify).
+	VerifyCode = planverify.Code
 )
 
 // NewTracer builds an enabled tracer with a fresh counter registry.
@@ -166,6 +174,15 @@ type Options struct {
 	// this Options value is passed to Execute — per-step execution spans on
 	// the appliance, plus the optimize.*/exec.* counters.
 	Tracer *Tracer
+
+	// Verify runs the internal/planverify static analyzer over every
+	// freshly compiled plan: distribution-property soundness of the
+	// winning plan tree, dataflow soundness of the DSQL step sequence,
+	// and the MEMO-side invariants. A violation fails Optimize with a
+	// typed *VerifyError instead of returning the broken plan. With a
+	// plan cache installed, cache hits re-bind an already verified
+	// template and are not re-verified.
+	Verify bool
 }
 
 // DB is an open appliance: shell metadata plus loaded data.
@@ -525,7 +542,8 @@ func (db *DB) compile(sql string, opts Options, pq *normalize.ParamQuery) (*Quer
 		Tracer:                      tr,
 		TraceParent:                 sp.ID(),
 	}
-	plan, err := core.New(dec, db.shell, model, cfg).Optimize()
+	opt := core.New(dec, db.shell, model, cfg)
+	plan, err := opt.Optimize()
 	if err != nil {
 		return fail(sp, err)
 	}
@@ -539,6 +557,23 @@ func (db *DB) compile(sql string, opts Options, pq *normalize.ParamQuery) (*Quer
 	}
 	sp.Int("steps", int64(len(dp.Steps)))
 	sp.End()
+
+	if opts.Verify {
+		sp = tr.BeginUnder(osp.ID(), "verify")
+		art := planverify.Artifacts{Plan: plan, DSQL: dp, Memo: dec, Shell: db.shell}
+		if opts.Mode == ModeFull {
+			// The interesting-column closure check mirrors the full
+			// logical memo; the serial-baseline mode derives from the
+			// winner slice only.
+			art.Interesting = opt.Interesting
+		}
+		rep := planverify.Check(art)
+		sp.Int("violations", int64(len(rep.Violations)))
+		if verr := rep.Err(); verr != nil {
+			return fail(sp, verr)
+		}
+		sp.End()
+	}
 	return &QueryPlan{
 		SQL:         sql,
 		Normalized:  norm,
