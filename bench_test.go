@@ -207,9 +207,9 @@ func BenchmarkE8PruningAblation(b *testing.B) {
 	}
 }
 
-// BenchmarkE9LocalGlobal measures execution with and without the
+// BenchmarkE9AggSplit measures execution with and without the
 // aggregation split, reporting bytes moved.
-func BenchmarkE9LocalGlobal(b *testing.B) {
+func BenchmarkE9AggSplit(b *testing.B) {
 	db := benchOpen(b)
 	sql := `SELECT l_partkey, COUNT(*) AS c, SUM(l_extendedprice) AS s,
 	        MIN(l_shipdate) AS d FROM lineitem GROUP BY l_partkey`
@@ -217,7 +217,7 @@ func BenchmarkE9LocalGlobal(b *testing.B) {
 		name    string
 		disable bool
 	}{{"split", false}, {"complete", true}} {
-		plan, err := db.Optimize(sql, Options{DisableLocalGlobalAgg: cfg.disable})
+		plan, err := db.Optimize(sql, Options{DisableAggSplit: cfg.disable})
 		if err != nil {
 			b.Fatal(err)
 		}

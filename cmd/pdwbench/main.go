@@ -6,7 +6,7 @@
 //
 //	pdwbench [-sf 0.01] [-nodes 8] [-seed 42] [-trace-out t.json] [experiment ...]
 //
-// Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 e18 calibrate all
+// Experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 e18 e19 calibrate all
 package main
 
 import (
@@ -51,9 +51,9 @@ func main() {
 	experiments := map[string]func(*pdwqo.DB){
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
-		"e13": e13, "e14": e14, "e15": e15, "e16": e16, "e17": e17, "e18": e18, "calibrate": calibrate,
+		"e13": e13, "e14": e14, "e15": e15, "e16": e16, "e17": e17, "e18": e18, "e19": e19, "calibrate": calibrate,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "calibrate", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"}
+	order := []string{"e1", "e2", "e3", "e4", "calibrate", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19"}
 
 	db, err := pdwqo.OpenTPCH(*sf, *nodes, *seed)
 	if err != nil {
@@ -234,9 +234,9 @@ func e4(db *pdwqo.DB) {
 			return
 		}
 		switch o.Op.OpName() {
-		case "LocalGroupBy":
+		case "PartialGroupBy":
 			local++
-		case "GlobalGroupBy":
+		case "FinalGroupBy":
 			global++
 		}
 	})
@@ -447,10 +447,10 @@ func e8(db *pdwqo.DB) {
 	fmt.Println()
 }
 
-// --- E9: local/global aggregation ablation ---
+// --- E9: partial/final aggregation split ablation ---
 
 func e9(db *pdwqo.DB) {
-	header("E9", "§4 — local/global aggregation ablation")
+	header("E9", "§4 — partial/final aggregation split ablation")
 	queries := []struct{ name, sql string }{
 		{"widegb", `SELECT l_partkey, COUNT(*) AS c, SUM(l_extendedprice) AS s,
 			MIN(l_shipdate) AS d, MAX(l_quantity) AS q FROM lineitem GROUP BY l_partkey`},
@@ -461,7 +461,7 @@ func e9(db *pdwqo.DB) {
 	fmt.Printf("%-8s %-13s %-13s %-7s %-14s %s\n", "query", "cost(split)", "cost(off)", "ratio", "bytes(split)", "bytes(off)")
 	for _, q := range queries {
 		on := mustPlan(db, q.sql, pdwqo.Options{})
-		off := mustPlan(db, q.sql, pdwqo.Options{DisableLocalGlobalAgg: true})
+		off := mustPlan(db, q.sql, pdwqo.Options{DisableAggSplit: true})
 		bOn := bytesMoved(db, on)
 		bOff := bytesMoved(db, off)
 		fmt.Printf("%-8s %-13.6g %-13.6g %-7.2f %-14d %d\n",
@@ -962,4 +962,65 @@ func e18(db *pdwqo.DB) {
 		100*(float64(verifiedTotal)-float64(coldTotal))/float64(coldTotal))
 	fmt.Println("(every verified run returned cleanly: no TPC-H plan violates the invariants)")
 	fmt.Println()
+}
+
+// --- E19: partial-aggregate pushdown — shuffle bytes and wall clock ---
+
+// e19 quantifies what the split buys at execution time on the
+// aggregate-heavy slice of TPC-H: every query whose winning plan adopts
+// a partial aggregation runs with the split enumerated and
+// force-disabled, and the table reports the DMS bytes actually moved
+// and the wall clock of both arms. The metamorphic suite in
+// internal/difftest certifies the two arms return identical relations;
+// this experiment shows why the split wins — the shuffle carries
+// per-node aggregate states instead of raw rows.
+func e19(db *pdwqo.DB) {
+	header("E19", "§4 — partial-aggregate pushdown: DMS bytes and wall clock, split vs unsplit")
+	const reps = 3
+	fmt.Printf("%-6s %-13s %-13s %-10s %-12s %s\n",
+		"query", "bytes(split)", "bytes(off)", "reduction", "time(split)", "time(off)")
+	var adopted, reduced int
+	var totalOn, totalOff int64
+	for _, name := range pdwqo.TPCHQueryNames() {
+		sql := mustTPCH(name)
+		on := mustPlan(db, sql, pdwqo.Options{})
+		if !strings.Contains(on.Explain(), "PartialGroupBy") {
+			continue
+		}
+		adopted++
+		off := mustPlan(db, sql, pdwqo.Options{DisableAggSplit: true})
+		bOn, tOn := runMeasured(db, on, reps)
+		bOff, tOff := runMeasured(db, off, reps)
+		totalOn += bOn
+		totalOff += bOff
+		if bOn < bOff {
+			reduced++
+		}
+		fmt.Printf("%-6s %-13d %-13d %9.1f%% %-12v %v\n",
+			name, bOn, bOff, 100*(1-ratio(float64(bOn), float64(bOff))),
+			tOn.Round(time.Microsecond), tOff.Round(time.Microsecond))
+	}
+	fmt.Printf("%d/%d TPC-H plans adopt the split; %d of them move fewer DMS bytes "+
+		"(suite: %d vs %d bytes, %.1f%% less)\n",
+		adopted, len(pdwqo.TPCHQueryNames()), reduced,
+		totalOn, totalOff, 100*(1-ratio(float64(totalOn), float64(totalOff))))
+	fmt.Println()
+}
+
+// runMeasured executes the plan reps times and reports the DMS bytes
+// one execution moves plus the mean wall clock.
+func runMeasured(db *pdwqo.DB, p *pdwqo.QueryPlan, reps int) (int64, time.Duration) {
+	a := db.Appliance()
+	var total time.Duration
+	var bytes int64
+	for i := 0; i < reps; i++ {
+		before := a.Metrics.TotalBytesMoved()
+		start := time.Now()
+		if _, err := db.ExecutePlan(p); err != nil {
+			fatal(err)
+		}
+		total += time.Since(start)
+		bytes = a.Metrics.TotalBytesMoved() - before
+	}
+	return bytes, total / time.Duration(reps)
 }

@@ -68,6 +68,7 @@ func main() {
 		timeout   = flag.Duration("step-timeout", 0, "per-step attempt timeout (0 = unbounded)")
 		faultStr  = flag.String("fault", "", `fault-injection spec, e.g. "fail:step=1,node=2" or "seed=42" (see pdwqo.ParseFaultSpec)`)
 		planCache = flag.Int("plan-cache", -1, "install a plan cache with this capacity (0 = default capacity, negative = off) and report its metrics")
+		noSplit   = flag.Bool("no-agg-split", false, "disable the partial/final aggregation split (ablation control arm)")
 	)
 	flag.Parse()
 
@@ -103,6 +104,7 @@ func main() {
 	if *baseline {
 		opts.Mode = pdwqo.ModeSerialBaseline
 	}
+	opts.DisableAggSplit = *noSplit
 	var tracer *pdwqo.Tracer
 	if *traceOut != "" {
 		tracer = pdwqo.NewTracer()

@@ -1,6 +1,6 @@
 // Command tpch_q20 reproduces the paper's §4 walk-through (Figure 7): the
 // parallel plan for TPC-H Q20. The expected shape — a broadcast of the
-// 'forest%'-filtered part table, a local/global aggregation split around a
+// 'forest%'-filtered part table, a partial/final aggregation split around a
 // shuffle, and replicated supplier/nation joined without movement — is
 // printed as DSQL steps the way Figure 7 lays them out.
 package main

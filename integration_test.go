@@ -148,7 +148,7 @@ func TestEndToEndBaselineModeSameResults(t *testing.T) {
 func TestEndToEndAblationsSameResults(t *testing.T) {
 	db := openTest(t)
 	sql, _ := TPCHQuery("q20")
-	assertSameResults(t, db, sql, Options{DisableLocalGlobalAgg: true}, false)
+	assertSameResults(t, db, sql, Options{DisableAggSplit: true}, false)
 	assertSameResults(t, db, sql, Options{DisableInterestingRetention: true}, false)
 }
 
@@ -178,9 +178,40 @@ func TestQ20AgainstPaperExpectations(t *testing.T) {
 		t.Errorf("Q20 should broadcast the filtered part table: %v", moves)
 	}
 	out := plan.Explain()
-	if !strings.Contains(out, "LocalGroupBy") || !strings.Contains(out, "GlobalGroupBy") {
+	if !strings.Contains(out, "PartialGroupBy") || !strings.Contains(out, "FinalGroupBy") {
 		t.Errorf("Q20 should split aggregation locally/globally:\n%s", out)
 	}
+}
+
+// TestAggSplitGuards pins the decomposability guard rails: DISTINCT
+// aggregates see each value once globally but possibly on many nodes, so
+// their plans must never carry a partial phase, while HAVING filters sit
+// above the finalizer and stay correct under the split.
+func TestAggSplitGuards(t *testing.T) {
+	db := openTest(t)
+
+	distinctQueries := []string{
+		`SELECT o_custkey, COUNT(DISTINCT o_orderstatus) AS s FROM orders GROUP BY o_custkey`,
+		`SELECT COUNT(DISTINCT l_suppkey) AS s FROM lineitem`,
+	}
+	if sql, ok := TPCHQuery("q16"); ok {
+		distinctQueries = append(distinctQueries, sql)
+	}
+	for _, sql := range distinctQueries {
+		plan, err := db.Optimize(sql, Options{Verify: true})
+		if err != nil {
+			t.Fatalf("optimize %q: %v", sql[:min(40, len(sql))], err)
+		}
+		if out := plan.Explain(); strings.Contains(out, "PartialGroupBy") {
+			t.Errorf("DISTINCT aggregate was split:\n%s", out)
+		}
+		assertSameResults(t, db, sql, Options{}, false)
+	}
+
+	havingSQL := `SELECT o_custkey, SUM(o_totalprice) AS total FROM orders
+		GROUP BY o_custkey HAVING SUM(o_totalprice) > 100000`
+	assertSameResults(t, db, havingSQL, Options{}, false)
+	assertSameResults(t, db, havingSQL, Options{DisableAggSplit: true}, false)
 }
 
 func TestOptimizeErrors(t *testing.T) {

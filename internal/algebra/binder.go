@@ -50,7 +50,7 @@ func (b *Binder) paramOf(pos int) int {
 }
 
 // NextID exposes the allocator so later phases (normalization, the PDW
-// optimizer's local/global split) can mint fresh column IDs that never
+// optimizer's partial/final split) can mint fresh column IDs that never
 // collide with bound ones.
 func (b *Binder) NextID() ColumnID {
 	id := b.nextID
@@ -653,7 +653,7 @@ func (b *Binder) bindMaybeAgg(e sqlparser.Expr, s *scope, agg *aggCollector, gro
 
 func (b *Binder) bindAggregate(f *sqlparser.FuncExpr, s *scope, agg *aggCollector) (Scalar, error) {
 	if f.Name == "AVG" {
-		// AVG(x) := SUM(x) / COUNT(x); keeps the PDW local/global split
+		// AVG(x) := SUM(x) / COUNT(x); keeps the PDW partial/final split
 		// uniform across aggregate functions.
 		if f.Star || len(f.Args) != 1 {
 			return nil, fmt.Errorf("algebra: AVG takes one argument")

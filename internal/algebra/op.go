@@ -135,20 +135,22 @@ func (j *Join) Fingerprint() string {
 
 // AggPhase marks where a GroupBy runs in the distributed plan. The serial
 // optimizer only emits AggComplete; the PDW optimizer splits a complete
-// aggregation into a Local/Global pair around a shuffle (paper §4,
-// "local-global transformation").
+// aggregation into a Partial/Final pair around a data movement (paper §4,
+// "local-global transformation"): each node pre-aggregates its local rows
+// into partial states, the much smaller states move, and a finalizing
+// aggregation merges them.
 type AggPhase uint8
 
 // Aggregation phases.
 const (
 	AggComplete AggPhase = iota
-	AggLocal
-	AggGlobal
+	AggPartial
+	AggFinal
 )
 
 // String names the phase.
 func (p AggPhase) String() string {
-	return [...]string{"", "Local", "Global"}[p]
+	return [...]string{"", "Partial", "Final"}[p]
 }
 
 // GroupBy groups by key columns and computes aggregates. A GroupBy with no

@@ -369,7 +369,7 @@ func (s *Subquery) Fingerprint() string {
 }
 
 // AggFunc enumerates aggregate functions. AVG is rewritten by the binder
-// into SUM/COUNT so the PDW optimizer's local/global split stays uniform.
+// into SUM/COUNT so the PDW optimizer's partial/final split stays uniform.
 type AggFunc uint8
 
 // Aggregate functions.

@@ -186,9 +186,9 @@ func TestE3SerialVsParallelJoinOrder(t *testing.T) {
 	})
 }
 
-func TestLocalGlobalAggregation(t *testing.T) {
+func TestPartialFinalAggregation(t *testing.T) {
 	// Orders is hashed on o_orderkey; grouping by o_custkey requires
-	// movement. The local/global split shrinks the shuffle.
+	// movement. The partial/final split shrinks the shuffle.
 	sql := `SELECT o_custkey, COUNT(*) AS cnt, SUM(o_totalprice) AS total
 		FROM orders GROUP BY o_custkey`
 	p := plan(t, shell(t), sql, Config{})
@@ -200,20 +200,20 @@ func TestLocalGlobalAggregation(t *testing.T) {
 	})
 	hasLocal, hasGlobal := false, false
 	for _, ph := range phases {
-		if ph == algebra.AggLocal {
+		if ph == algebra.AggPartial {
 			hasLocal = true
 		}
-		if ph == algebra.AggGlobal {
+		if ph == algebra.AggFinal {
 			hasGlobal = true
 		}
 	}
 	if !hasLocal || !hasGlobal {
-		t.Errorf("expected local/global split, phases %v:\n%s", phases, p.Root)
+		t.Errorf("expected partial/final split, phases %v:\n%s", phases, p.Root)
 	}
 	// Ablation: disabling the split must not produce a cheaper plan.
-	off := plan(t, shell(t), sql, Config{DisableLocalGlobalAgg: true})
+	off := plan(t, shell(t), sql, Config{DisableAggSplit: true})
 	if off.TotalCost < p.TotalCost {
-		t.Errorf("local/global off (%v) beat on (%v)", off.TotalCost, p.TotalCost)
+		t.Errorf("split off (%v) beat on (%v)", off.TotalCost, p.TotalCost)
 	}
 	off.Root.Visit(func(o *Option) {
 		if gb, ok := o.Op.(*algebra.GroupBy); ok && gb.Phase != algebra.AggComplete {
@@ -312,7 +312,7 @@ func TestPlanDeterminism(t *testing.T) {
 func TestQ20PlanShape(t *testing.T) {
 	// The paper's Figure 7 walk-through. Expectations on plan shape:
 	//  - part is broadcast (not lineitem shuffled),
-	//  - a local/global aggregation pair exists,
+	//  - a partial/final aggregation pair exists,
 	//  - a shuffle lands on an aggregation key,
 	//  - supplier and nation never move (replicated).
 	q, _ := tpch.Get("q20")
@@ -332,9 +332,9 @@ func TestQ20PlanShape(t *testing.T) {
 	p.Root.Visit(func(o *Option) {
 		if gb, ok := o.Op.(*algebra.GroupBy); ok {
 			switch gb.Phase {
-			case algebra.AggLocal:
+			case algebra.AggPartial:
 				hasLocal = true
-			case algebra.AggGlobal:
+			case algebra.AggFinal:
 				hasGlobal = true
 			}
 		}
@@ -343,7 +343,7 @@ func TestQ20PlanShape(t *testing.T) {
 		}
 	})
 	if !hasLocal || !hasGlobal {
-		t.Errorf("expected local/global aggregation in Q20 plan:\n%s", p.Root)
+		t.Errorf("expected partial/final aggregation in Q20 plan:\n%s", p.Root)
 	}
 	// supplier and nation are replicated: no move may sit above their scans.
 	p.Root.Visit(func(o *Option) {

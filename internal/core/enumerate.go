@@ -370,16 +370,20 @@ func cloneColSet(s algebra.ColSet) algebra.ColSet {
 }
 
 // enumGroupBy handles complete aggregation over compatible inputs plus the
-// local/global split (the paper's §4 "local-global transformation of the
+// partial/final split (the paper's §4 "local-global transformation of the
 // group by" and Figure 4 step 02's topology-aware partial-aggregate
-// sizing).
+// sizing). The split is enumerated as a cost-based alternative for every
+// hash-distributed child option — not merely as a fallback when the
+// complete shape is infeasible — and pruning keeps whichever moves fewer
+// bytes.
 func (o *Optimizer) enumGroupBy(g *pgroup, op *algebra.GroupBy, e memoxml.DecodedExpr) []*Option {
 	child := o.groups[e.Children[0]]
 	keySet := algebra.NewColSet(op.Keys...)
 	var out []*Option
 
 	for _, co := range child.opts {
-		// Path 1: complete aggregation where the placement allows it.
+		// Complete aggregation wherever the placement already brings every
+		// row of each group to one node.
 		if gbCompatible(op, co.Dist) {
 			dist := co.Dist.restrict(keySet, nil)
 			if co.Dist.Kind != DistHash {
@@ -388,10 +392,13 @@ func (o *Optimizer) enumGroupBy(g *pgroup, op *algebra.GroupBy, e memoxml.Decode
 			outCols := algebra.OutputColsFromSchemas(op, [][]algebra.ColumnMeta{co.OutCols})
 			width := widthOf(outCols, g.statsOf)
 			out = append(out, o.newRelOption(op, []*Option{co}, dist, g.Rows, outCols, width))
-		} else if co.Dist.Kind == DistHash && !o.config.DisableLocalGlobalAgg {
-			// Path 2: local aggregation on each node, move, then global.
-			opts := o.localGlobalOptions(g, op, co)
-			out = append(out, opts...)
+		}
+		// Partial aggregation on each node, move the shrunken states, then
+		// finalize. Only decomposable aggregates split (splitAggs guards
+		// DISTINCT and unknown functions); replicated or single-node inputs
+		// never benefit — their complete aggregation is movement-free.
+		if co.Dist.Kind == DistHash && !o.config.DisableAggSplit {
+			out = append(out, o.splitOptions(g, op, co)...)
 		}
 	}
 	return out
@@ -417,10 +424,11 @@ func gbCompatible(op *algebra.GroupBy, d Distribution) bool {
 	}
 }
 
-// localGlobalOptions builds LocalGB → move → GlobalGB chains over one
-// child option.
-func (o *Optimizer) localGlobalOptions(g *pgroup, op *algebra.GroupBy, co *Option) []*Option {
-	localAggs, globalAggs, ok := splitAggs(g, op.Aggs)
+// splitOptions builds PartialGB → move → FinalGB chains over one child
+// option: per-node partial aggregation shrinks the stream before it moves,
+// and the finalizing aggregation merges partial states after the movement.
+func (o *Optimizer) splitOptions(g *pgroup, op *algebra.GroupBy, co *Option) []*Option {
+	partialAggs, finalAggs, ok := splitAggs(g, op.Aggs)
 	if !ok {
 		return nil
 	}
@@ -429,66 +437,71 @@ func (o *Optimizer) localGlobalOptions(g *pgroup, op *algebra.GroupBy, co *Optio
 		n = 1
 	}
 
-	// Local output schema: keys (from child schema) + partial aggregates.
-	localOp := &algebra.GroupBy{Keys: op.Keys, Aggs: localAggs, Phase: algebra.AggLocal}
-	localCols := algebra.OutputColsFromSchemas(localOp, [][]algebra.ColumnMeta{co.OutCols})
+	// Partial output schema: keys (from child schema) + partial states.
+	partialOp := &algebra.GroupBy{Keys: op.Keys, Aggs: partialAggs, Phase: algebra.AggPartial}
+	partialCols := algebra.OutputColsFromSchemas(partialOp, [][]algebra.ColumnMeta{co.OutCols})
 
 	// Figure 4 step 02: size the partial aggregate for the topology. Each
 	// node sees rows/N input rows drawn from ~g.Rows global groups.
-	var localRows float64
+	var partialRows float64
 	if len(op.Keys) == 0 {
-		localRows = n
+		partialRows = n
 	} else {
-		localRows = math.Min(n*expectedDistinct(g.Rows, co.Rows/n), co.Rows)
+		partialRows = math.Min(n*expectedDistinct(g.Rows, co.Rows/n), co.Rows)
 	}
-	localWidth := widthOf(localCols, g.statsOf)
-	localDist := co.Dist.restrict(algebra.NewColSet(op.Keys...), nil)
-	local := o.newRelOption(localOp, []*Option{co}, localDist, localRows, localCols, localWidth)
+	partialWidth := widthOf(partialCols, g.statsOf)
+	partialDist := co.Dist.restrict(algebra.NewColSet(op.Keys...), nil)
+	partial := o.newRelOption(partialOp, []*Option{co}, partialDist, partialRows, partialCols, partialWidth)
 
-	globalOp := &algebra.GroupBy{Keys: op.Keys, Aggs: globalAggs, Phase: algebra.AggGlobal}
-	globalCols := algebra.OutputColsFromSchemas(globalOp, [][]algebra.ColumnMeta{localCols})
-	globalWidth := widthOf(globalCols, g.statsOf)
+	finalOp := &algebra.GroupBy{Keys: op.Keys, Aggs: finalAggs, Phase: algebra.AggFinal}
+	finalCols := algebra.OutputColsFromSchemas(finalOp, [][]algebra.ColumnMeta{partialCols})
+	finalWidth := widthOf(finalCols, g.statsOf)
 
 	var out []*Option
 	if len(op.Keys) == 0 {
-		moved := o.newMoveOption(cost.PartitionMove, 0, local)
-		out = append(out, o.newRelOption(globalOp, []*Option{moved}, Single(), g.Rows, globalCols, globalWidth))
+		moved := o.newMoveOption(cost.PartitionMove, 0, partial)
+		out = append(out, o.newRelOption(finalOp, []*Option{moved}, Single(), g.Rows, finalCols, finalWidth))
 		return out
 	}
 	for _, k := range op.Keys {
-		moved := o.newMoveOption(cost.Shuffle, k, local)
-		out = append(out, o.newRelOption(globalOp, []*Option{moved}, HashOn(k), g.Rows, globalCols, globalWidth))
+		moved := o.newMoveOption(cost.Shuffle, k, partial)
+		out = append(out, o.newRelOption(finalOp, []*Option{moved}, HashOn(k), g.Rows, finalCols, finalWidth))
 	}
 	return out
 }
 
-// splitAggs rewrites complete aggregates into local/global pairs with
-// fresh partial-result columns minted from the group's private range.
-// DISTINCT aggregates cannot split.
-func splitAggs(g *pgroup, aggs []algebra.AggDef) (local, global []algebra.AggDef, ok bool) {
+// splitAggs rewrites complete aggregates into partial/final pairs with
+// fresh state columns minted from the group's private range. The partial
+// phase keeps each aggregate's own function (COUNT stays COUNT locally);
+// the finalizing function merges the states: SUM and COUNT finalize as
+// SUM over partial sums/counts, MIN/MAX as themselves. AVG never reaches
+// here — the binder decomposes it into SUM/COUNT state up front.
+// DISTINCT aggregates see each value once globally but possibly on many
+// nodes, so they cannot split and keep the complete plan.
+func splitAggs(g *pgroup, aggs []algebra.AggDef) (partial, final []algebra.AggDef, ok bool) {
 	for _, a := range aggs {
 		if a.Distinct {
 			return nil, nil, false
 		}
 		pid := g.freshCol()
-		partial := algebra.AggDef{Func: a.Func, Arg: a.Arg, ID: pid, Name: fmt.Sprintf("partial%d", pid)}
-		pref := algebra.NewColRef(algebra.ColumnMeta{ID: pid, Name: partial.Name, Type: partial.ResultType()})
-		var g algebra.AggDef
+		p := algebra.AggDef{Func: a.Func, Arg: a.Arg, ID: pid, Name: fmt.Sprintf("partial%d", pid)}
+		pref := algebra.NewColRef(algebra.ColumnMeta{ID: pid, Name: p.Name, Type: p.ResultType()})
+		var f algebra.AggDef
 		switch a.Func {
 		case algebra.AggSum, algebra.AggCount:
-			// Global SUM over partial sums/counts.
-			g = algebra.AggDef{Func: algebra.AggSum, Arg: pref, ID: a.ID, Name: a.Name}
+			// COUNT → SUM of partial counts; SUM → SUM of partial sums.
+			f = algebra.AggDef{Func: algebra.AggSum, Arg: pref, ID: a.ID, Name: a.Name}
 		case algebra.AggMin:
-			g = algebra.AggDef{Func: algebra.AggMin, Arg: pref, ID: a.ID, Name: a.Name}
+			f = algebra.AggDef{Func: algebra.AggMin, Arg: pref, ID: a.ID, Name: a.Name}
 		case algebra.AggMax:
-			g = algebra.AggDef{Func: algebra.AggMax, Arg: pref, ID: a.ID, Name: a.Name}
+			f = algebra.AggDef{Func: algebra.AggMax, Arg: pref, ID: a.ID, Name: a.Name}
 		default:
 			return nil, nil, false
 		}
-		local = append(local, partial)
-		global = append(global, g)
+		partial = append(partial, p)
+		final = append(final, f)
 	}
-	return local, global, true
+	return partial, final, true
 }
 
 // enumUnion requires compatible placements; enforcers provide movement.

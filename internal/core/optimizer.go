@@ -36,9 +36,10 @@ type Config struct {
 	// option (plus feasibility fallbacks) instead of best-per-interesting-
 	// property (E8 ablation of Figure 4 step 06.ii).
 	DisableInterestingRetention bool
-	// DisableLocalGlobalAgg turns off the local/global aggregation split
-	// (E9 ablation of the paper's §4 "local-global transformation").
-	DisableLocalGlobalAgg bool
+	// DisableAggSplit turns off the partial/final aggregation split
+	// (E9/E19 ablation of the paper's §4 "local-global transformation"):
+	// every GroupBy keeps its complete, unsplit shape.
+	DisableAggSplit bool
 	// Parallelism bounds the workers enumerating independent MEMO groups
 	// within one topological wave: 0 means GOMAXPROCS, 1 forces the serial
 	// enumerator. Pruning is per-group and fresh columns are minted from
@@ -97,7 +98,7 @@ type pgroup struct {
 }
 
 // colStride is the size of each group's fresh-column ID range. Fresh
-// columns are minted only for local/global aggregate splits — a handful
+// columns are minted only for partial/final aggregate splits — a handful
 // per retained child option — so the range never overflows in practice.
 const colStride = 1 << 16
 

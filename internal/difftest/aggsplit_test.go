@@ -1,0 +1,118 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"pdwqo"
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/core"
+)
+
+// adoptsSplit reports whether the winning plan carries a partial
+// aggregation — i.e. the cost model actually chose the split.
+func adoptsSplit(qp *pdwqo.QueryPlan) bool {
+	found := false
+	seen := map[*core.Option]bool{}
+	var walk func(o *core.Option)
+	walk = func(o *core.Option) {
+		if o == nil || seen[o] || found {
+			return
+		}
+		seen[o] = true
+		if gb, ok := o.Op.(*algebra.GroupBy); ok && gb.Phase == algebra.AggPartial {
+			found = true
+			return
+		}
+		for _, in := range o.Inputs {
+			walk(in)
+		}
+	}
+	walk(qp.Distributed.Root)
+	return found
+}
+
+// TestTPCHAggSplitEquivalence is the headline metamorphic sweep: every
+// adapted TPC-H query, on 1-, 2-, 4- and 8-node topologies, must produce
+// the same result relation whether the partial-aggregate split is
+// enumerated or force-disabled. Both arms compile under the static plan
+// verifier. On the multi-node topologies the sweep also asserts the
+// transform is really exercised: at least one winning plan must carry a
+// partial aggregation, or the equivalence claim would be vacuous.
+func TestTPCHAggSplitEquivalence(t *testing.T) {
+	topologies := []int{1, 2, 4, 8}
+	if testing.Short() {
+		topologies = []int{4}
+	}
+	if raceEnabled {
+		topologies = []int{8}
+	}
+	for _, nodes := range topologies {
+		nodes := nodes
+		t.Run(fmt.Sprintf("nodes-%d", nodes), func(t *testing.T) {
+			db := openAppliance(t, nodes)
+			adopted := 0
+			for _, c := range TPCHCases() {
+				c := c
+				t.Run(c.Name, func(t *testing.T) {
+					if err := AggSplitDiff(db, c, 8); err != nil {
+						t.Error(err)
+					}
+				})
+				if qp, err := db.Optimize(c.SQL, pdwqo.Options{}); err == nil && adoptsSplit(qp) {
+					adopted++
+				}
+			}
+			if nodes > 1 && adopted == 0 {
+				t.Errorf("no TPC-H winning plan adopted the split on %d nodes; the sweep proves nothing", nodes)
+			}
+			t.Logf("nodes=%d: %d/%d TPC-H winning plans adopt the split", nodes, adopted, len(TPCHCases()))
+		})
+	}
+}
+
+// TestFuzzAggSplitEquivalence runs the seeded random corpus — a third of
+// it GROUP BY heads over FK join chains — through the same metamorphic
+// contract on the 4-node appliance.
+func TestFuzzAggSplitEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz corpus skipped in -short mode")
+	}
+	db := openAppliance(t, 4)
+	for _, c := range FuzzCases(40, 20260808) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if err := AggSplitDiff(db, c, 8); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestAggSplitChaos perturbs the split arm with seeded fault plans on the
+// aggregate-heaviest TPC-H queries: recovery must reproduce the unsplit
+// reference relation or fail with a typed step error, leaking nothing.
+func TestAggSplitChaos(t *testing.T) {
+	queries := []string{"q01", "q04", "q05", "q13", "q22"}
+	seeds := []int64{1, 7, 23}
+	if testing.Short() {
+		queries = []string{"q01"}
+		seeds = []int64{7}
+	}
+	db := openAppliance(t, 4)
+	for _, name := range queries {
+		sql, ok := pdwqo.TPCHQuery(name)
+		if !ok {
+			t.Fatalf("unknown query %s", name)
+		}
+		c := Case{Name: name, SQL: sql}
+		for _, seed := range seeds {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed-%d", name, seed), func(t *testing.T) {
+				if err := AggSplitChaos(db, c, 8, seed, 2); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}

@@ -154,8 +154,8 @@ func TestQ20DSQLShape(t *testing.T) {
 	assertStepsParse(t, p)
 }
 
-func TestLocalGlobalAggregateSQL(t *testing.T) {
-	// The wide aggregate makes the local/global split profitable (partial
+func TestAggSplitSQL(t *testing.T) {
+	// The wide aggregate makes the partial/final split profitable (partial
 	// rows are much narrower than the input rows).
 	p := dsqlFor(t, `SELECT o_custkey, COUNT(*) AS cnt, SUM(o_totalprice) AS total,
 		MIN(o_orderdate) AS first_order FROM orders GROUP BY o_custkey`, core.Config{})

@@ -1,0 +1,222 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/types"
+)
+
+// The aggregate-state decomposition property: for any relation D cut
+// into chunks C1..Ck,
+//
+//	FinalAgg(⊎ PartialAgg(Ci)) == CompleteAgg(D)
+//
+// with partial COUNT/SUM states merging by SUM and MIN/MAX by
+// themselves — exactly the rewrite the optimizer's splitAggs emits and
+// planverify re-checks. These tests drive the executor's runGroupBy
+// directly over random groupings with NULLs, empty chunks and empty
+// overall input, so a decomposition bug is caught at the operator level
+// before any plan-level suite runs.
+
+// aggCase is one decomposable aggregate with its partial/final halves.
+type aggCase struct {
+	name    string
+	partial algebra.AggDef
+	final   func(stateRef *algebra.ColRef, id algebra.ColumnID) algebra.AggDef
+}
+
+// valRef references the value column of the generated relation.
+func valRef() *algebra.ColRef {
+	return algebra.NewColRef(algebra.ColumnMeta{ID: 2, Name: "v", Type: types.KindFloat})
+}
+
+func aggCases() []aggCase {
+	mk := func(f algebra.AggFunc, arg algebra.Scalar, id algebra.ColumnID, name string) algebra.AggDef {
+		return algebra.AggDef{Func: f, Arg: arg, ID: id, Name: name}
+	}
+	finalize := func(f algebra.AggFunc) func(*algebra.ColRef, algebra.ColumnID) algebra.AggDef {
+		return func(ref *algebra.ColRef, id algebra.ColumnID) algebra.AggDef {
+			return mk(f, ref, id, "out")
+		}
+	}
+	return []aggCase{
+		{"count-star", mk(algebra.AggCount, nil, 10, "p"), finalize(algebra.AggSum)},
+		{"count-val", mk(algebra.AggCount, valRef(), 10, "p"), finalize(algebra.AggSum)},
+		{"sum", mk(algebra.AggSum, valRef(), 10, "p"), finalize(algebra.AggSum)},
+		{"min", mk(algebra.AggMin, valRef(), 10, "p"), finalize(algebra.AggMin)},
+		{"max", mk(algebra.AggMax, valRef(), 10, "p"), finalize(algebra.AggMax)},
+	}
+}
+
+// randRelation generates rows over (k INT, v FLOAT) with NULLs in both
+// columns; nRows may be zero.
+func randRelation(r *rand.Rand, nRows int) [][]types.Value {
+	rows := make([][]types.Value, nRows)
+	for i := range rows {
+		key := types.NewInt(int64(r.Intn(5)))
+		if r.Intn(8) == 0 {
+			key = types.Null
+		}
+		val := types.NewFloat(float64(r.Intn(2000))/100 - 5)
+		if r.Intn(6) == 0 {
+			val = types.Null
+		}
+		rows[i] = []types.Value{key, val}
+	}
+	return rows
+}
+
+var relCols = []algebra.ColumnMeta{
+	{ID: 1, Name: "k", Type: types.KindInt},
+	{ID: 2, Name: "v", Type: types.KindFloat},
+}
+
+// runAgg executes one GroupBy over literal rows.
+func runAgg(t *testing.T, gb *algebra.GroupBy, rows [][]types.Value) *Relation {
+	t.Helper()
+	tree := algebra.NewTree(gb, algebra.NewTree(&algebra.Values{Cols: relCols, Rows: rows}))
+	rel, err := Run(tree, nil)
+	if err != nil {
+		t.Fatalf("run %s: %v", gb.OpName(), err)
+	}
+	return rel
+}
+
+// chunked cuts rows into n contiguous chunks; some may be empty.
+func chunked(r *rand.Rand, rows [][]types.Value, n int) [][][]types.Value {
+	cuts := make([]int, 0, n+1)
+	cuts = append(cuts, 0)
+	for i := 1; i < n; i++ {
+		cuts = append(cuts, r.Intn(len(rows)+1))
+	}
+	cuts = append(cuts, len(rows))
+	sort.Ints(cuts)
+	out := make([][][]types.Value, n)
+	for i := 0; i < n; i++ {
+		out[i] = rows[cuts[i]:cuts[i+1]]
+	}
+	return out
+}
+
+// canonRows renders a relation's rows order-insensitively, floats at 12
+// significant digits to absorb summation reassociation.
+func canonRows(rel *Relation) []string {
+	out := make([]string, len(rel.Rows))
+	for i, row := range rel.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			if v.Kind() == types.KindFloat {
+				parts[j] = strconv.FormatFloat(v.Float(), 'g', 12, 64)
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// decompose runs the split pipeline: partial per chunk, concatenate the
+// states, finalize — mirroring partial-agg → movement → final-agg.
+func decompose(t *testing.T, keys []algebra.ColumnID, c aggCase, chunks [][][]types.Value) *Relation {
+	t.Helper()
+	partialGB := &algebra.GroupBy{Keys: keys, Aggs: []algebra.AggDef{c.partial}, Phase: algebra.AggPartial}
+	var stateCols []algebra.ColumnMeta
+	var states [][]types.Value
+	for _, chunk := range chunks {
+		rel := runAgg(t, partialGB, chunk)
+		stateCols = rel.Cols
+		for _, row := range rel.Rows {
+			states = append(states, row)
+		}
+	}
+	stateRef := algebra.NewColRef(stateCols[len(stateCols)-1])
+	finalGB := &algebra.GroupBy{
+		Keys:  keys,
+		Aggs:  []algebra.AggDef{c.final(stateRef, 20)},
+		Phase: algebra.AggFinal,
+	}
+	tree := algebra.NewTree(finalGB, algebra.NewTree(&algebra.Values{Cols: stateCols, Rows: states}))
+	rel, err := Run(tree, nil)
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return rel
+}
+
+// TestAggDecompositionProperty is the property sweep: 60 random
+// relations per aggregate, keyed and keyless, cut into 1..6 chunks.
+func TestAggDecompositionProperty(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	for _, c := range aggCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(20260808))
+			for trial := 0; trial < trials; trial++ {
+				nRows := r.Intn(120)
+				rows := randRelation(r, nRows)
+				var keys []algebra.ColumnID
+				if r.Intn(4) > 0 {
+					keys = []algebra.ColumnID{1}
+				}
+				direct := runAgg(t, &algebra.GroupBy{
+					Keys: keys,
+					Aggs: []algebra.AggDef{{Func: c.partial.Func, Arg: c.partial.Arg, ID: 20, Name: "out"}},
+				}, rows)
+				split := decompose(t, keys, c, chunked(r, rows, 1+r.Intn(6)))
+				want, got := canonRows(direct), canonRows(split)
+				if fmt.Sprint(want) != fmt.Sprint(got) {
+					t.Fatalf("trial %d (rows=%d, keys=%v): direct %v != split %v",
+						trial, nRows, keys, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestAggDecompositionEdges pins the corners the fuzz sweep may not
+// always hit: an entirely empty relation, all-NULL values, and every
+// chunk empty in a keyless aggregation (the all-default partial rows
+// must still finalize to COUNT 0 / SUM NULL).
+func TestAggDecompositionEdges(t *testing.T) {
+	for _, c := range aggCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			empty := [][]types.Value{}
+			allNull := make([][]types.Value, 10)
+			for i := range allNull {
+				allNull[i] = []types.Value{types.NewInt(int64(i % 2)), types.Null}
+			}
+			for _, tc := range []struct {
+				name string
+				rows [][]types.Value
+				keys []algebra.ColumnID
+			}{
+				{"empty-keyless", empty, nil},
+				{"empty-keyed", empty, []algebra.ColumnID{1}},
+				{"all-null-vals", allNull, []algebra.ColumnID{1}},
+				{"all-null-keyless", allNull, nil},
+			} {
+				direct := runAgg(t, &algebra.GroupBy{
+					Keys: tc.keys,
+					Aggs: []algebra.AggDef{{Func: c.partial.Func, Arg: c.partial.Arg, ID: 20, Name: "out"}},
+				}, tc.rows)
+				split := decompose(t, tc.keys, c, chunked(r, tc.rows, 4))
+				if fmt.Sprint(canonRows(direct)) != fmt.Sprint(canonRows(split)) {
+					t.Errorf("%s: direct %v != split %v", tc.name, canonRows(direct), canonRows(split))
+				}
+			}
+		})
+	}
+}

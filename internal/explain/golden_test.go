@@ -89,6 +89,62 @@ func TestExplainJSONGolden(t *testing.T) {
 	compareGolden(t, filepath.Join("testdata", "explain", "q05.json.golden"), got)
 }
 
+// TestGoldenSplitAdoption asserts the partial-aggregate split is really
+// visible in the locked corpus — the goldens are only worth their bytes
+// if the transform they certify actually fires. q01 and q05 must carry
+// the full PartialGroupBy → SHUFFLE → FinalGroupBy chain, every golden
+// with a partial must also show its finalizer, and at least three
+// queries across the corpus must adopt the split.
+func TestGoldenSplitAdoption(t *testing.T) {
+	adopted := 0
+	for _, name := range pdwqo.TPCHQueryNames() {
+		data, err := os.ReadFile(filepath.Join("testdata", "explain", name+".golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(data), "PartialGroupBy") {
+			if !strings.Contains(string(data), "FinalGroupBy") {
+				t.Errorf("%s: golden shows a partial aggregation without a finalizer", name)
+			}
+			adopted++
+		}
+	}
+	if adopted < 3 {
+		t.Errorf("only %d golden plans adopt the split, want at least 3", adopted)
+	}
+	for _, name := range []string{"q01", "q05"} {
+		data, err := os.ReadFile(filepath.Join("testdata", "explain", name+".golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"PartialGroupBy", "SHUFFLE", "FinalGroupBy"} {
+			if !strings.Contains(string(data), want) {
+				t.Errorf("%s: golden misses %q in the split chain", name, want)
+			}
+		}
+	}
+}
+
+// TestExplainAnalyzeShowsSplit executes q01 under EXPLAIN ANALYZE: the
+// report must render the split pair and per-move q_bytes actuals, so the
+// shrunken shuffle is observable, not just planned.
+func TestExplainAnalyzeShowsSplit(t *testing.T) {
+	sql, _ := pdwqo.TPCHQuery("q01")
+	plan, err := goldenDB.Optimize(sql, pdwqo.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := goldenDB.ExplainAnalyze(plan, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"PartialGroupBy", "FinalGroupBy", "q_bytes="} {
+		if !strings.Contains(report, want) {
+			t.Errorf("EXPLAIN ANALYZE misses %q:\n%s", want, report)
+		}
+	}
+}
+
 func compareGolden(t *testing.T, path, got string) {
 	t.Helper()
 	if *update {

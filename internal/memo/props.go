@@ -163,7 +163,7 @@ func (m *Memo) deriveProps(e *GroupExpr) *LogicalProps {
 		for _, a := range op.Aggs {
 			p.Cols[a.ID] = &ColStat{NDV: p.Rows, Width: float64(a.ResultType().Width())}
 		}
-		if len(op.Keys) > 0 && op.Phase != algebra.AggLocal {
+		if len(op.Keys) > 0 && op.Phase != algebra.AggPartial {
 			p.Keys = append(p.Keys, algebra.NewColSet(op.Keys...))
 		}
 

@@ -50,7 +50,7 @@ func checkAll(qp *pdwqo.QueryPlan, shell *catalog.Shell) *planverify.Report {
 
 // TestCleanPlansVerify pins the baseline the mutation tests perturb.
 func TestCleanPlansVerify(t *testing.T) {
-	for _, name := range []string{"q03", "q05", "q10"} {
+	for _, name := range []string{"q01", "q03", "q05", "q10"} {
 		qp, shell := freshPlan(t, name)
 		if rep := checkAll(qp, shell); !rep.OK() {
 			t.Errorf("%s: clean plan rejected: %v", name, rep.Violations)
@@ -164,6 +164,130 @@ func TestMutationDropEnforcer(t *testing.T) {
 		}
 	}
 	t.Fatal("no dropped enforcer produced a collocation violation")
+}
+
+// findSplitTriple locates a finalizing GroupBy option, the movement
+// below it, and the partial GroupBy option at its base.
+func findSplitTriple(p *core.Plan) (final, move, partial *core.Option, ok bool) {
+	seen := map[*core.Option]bool{}
+	var walk func(o *core.Option)
+	walk = func(o *core.Option) {
+		if o == nil || seen[o] || ok {
+			return
+		}
+		seen[o] = true
+		if gb, isGB := o.Op.(*algebra.GroupBy); isGB && gb.Phase == algebra.AggFinal {
+			if m := o.Inputs[0]; m.Move != nil {
+				if pgb, isP := m.Inputs[0].Op.(*algebra.GroupBy); isP && pgb.Phase == algebra.AggPartial {
+					final, move, partial, ok = o, m, m.Inputs[0], true
+					return
+				}
+			}
+		}
+		for _, in := range o.Inputs {
+			walk(in)
+		}
+	}
+	walk(p.Root)
+	return final, move, partial, ok
+}
+
+// splitPlan compiles TPC-H queries until one's winning plan carries a
+// partial/final split, handing the triple to a mutation.
+func splitPlan(t *testing.T) (*pdwqo.QueryPlan, *core.Option, *core.Option, *core.Option) {
+	t.Helper()
+	for _, name := range pdwqo.TPCHQueryNames() {
+		qp, _ := freshPlan(t, name)
+		if final, move, partial, ok := findSplitTriple(qp.Distributed); ok {
+			return qp, final, move, partial
+		}
+	}
+	t.Fatal("no TPC-H winning plan adopts the aggregate split")
+	return nil, nil, nil, nil
+}
+
+// TestMutationAggKeysMismatch perturbs the finalizer's grouping keys so
+// the pair no longer groups identically.
+func TestMutationAggKeysMismatch(t *testing.T) {
+	qp, final, _, _ := splitPlan(t)
+	gb := final.Op.(*algebra.GroupBy)
+	if len(gb.Keys) == 0 {
+		t.Skip("keyless split chosen; keys mutation does not apply")
+	}
+	gb.Keys = gb.Keys[:len(gb.Keys)-1]
+	if vs := planverify.CheckPlan(qp.Distributed); !hasCode(vs, planverify.CodeAggSplitMismatch) {
+		t.Fatalf("dropped finalizer key not caught: %v", vs)
+	}
+}
+
+// TestMutationAggStateColumn points one finalizer at a column that is
+// not its partner's state column.
+func TestMutationAggStateColumn(t *testing.T) {
+	qp, final, _, partial := splitPlan(t)
+	fgb := final.Op.(*algebra.GroupBy)
+	pgb := partial.Op.(*algebra.GroupBy)
+	wrong := pgb.Aggs[0].ID + 7777
+	fgb.Aggs[0].Arg = algebra.NewColRef(algebra.ColumnMeta{ID: wrong, Name: "stray"})
+	if vs := planverify.CheckPlan(qp.Distributed); !hasCode(vs, planverify.CodeAggSplitMismatch) {
+		t.Fatalf("rerouted state column not caught: %v", vs)
+	}
+}
+
+// TestMutationAggMergeFunc swaps a finalizer's merge function for one
+// that cannot merge its partner's state (MIN over a COUNT/SUM state, or
+// SUM over a MIN/MAX state).
+func TestMutationAggMergeFunc(t *testing.T) {
+	qp, final, _, _ := splitPlan(t)
+	fgb := final.Op.(*algebra.GroupBy)
+	if fgb.Aggs[0].Func == algebra.AggSum {
+		fgb.Aggs[0].Func = algebra.AggMin
+	} else {
+		fgb.Aggs[0].Func = algebra.AggSum
+	}
+	if vs := planverify.CheckPlan(qp.Distributed); !hasCode(vs, planverify.CodeAggSplitMismatch) {
+		t.Fatalf("wrong merge function not caught: %v", vs)
+	}
+}
+
+// TestMutationAggFinalOverComplete relabels the partial as a complete
+// aggregation: the finalizer then merges already-final values.
+func TestMutationAggFinalOverComplete(t *testing.T) {
+	qp, _, _, partial := splitPlan(t)
+	partial.Op.(*algebra.GroupBy).Phase = algebra.AggComplete
+	if vs := planverify.CheckPlan(qp.Distributed); !hasCode(vs, planverify.CodeAggFinalInput) {
+		t.Fatalf("finalizer over complete input not caught: %v", vs)
+	}
+}
+
+// TestMutationAggPartialOrphan relabels the finalizer as a complete
+// aggregation, leaving the partial's per-node states unmerged.
+func TestMutationAggPartialOrphan(t *testing.T) {
+	qp, final, _, _ := splitPlan(t)
+	final.Op.(*algebra.GroupBy).Phase = algebra.AggComplete
+	if vs := planverify.CheckPlan(qp.Distributed); !hasCode(vs, planverify.CodeAggPartialOrphan) {
+		t.Fatalf("orphaned partial aggregation not caught: %v", vs)
+	}
+}
+
+// TestMutationAggSpliceMove removes the movement between the pair, so
+// the finalizer merges states that never left their producing nodes.
+// Only CheckPlan runs: the splice changes the tree's movement multiset,
+// which the tree/step cross-check would also flag.
+func TestMutationAggSpliceMove(t *testing.T) {
+	qp, final, move, _ := splitPlan(t)
+	final.Inputs[0] = move.Inputs[0]
+	if vs := planverify.CheckPlan(qp.Distributed); !hasCode(vs, planverify.CodeAggFinalInput) {
+		t.Fatalf("spliced-out movement not caught: %v", vs)
+	}
+}
+
+func hasCode(vs []planverify.Violation, code planverify.Code) bool {
+	for _, v := range vs {
+		if v.Code == code {
+			return true
+		}
+	}
+	return false
 }
 
 // TestMemoFixtures decodes the hand-written bad memos through the real

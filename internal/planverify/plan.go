@@ -36,6 +36,7 @@ func CheckPlan(p *core.Plan) []Violation {
 		}
 	}
 	walk(p.Root)
+	out = append(out, checkAggSplit(p)...)
 	return out
 }
 
@@ -226,11 +227,11 @@ func equiPaired(on algebra.Scalar, l, r algebra.ColSet) bool {
 	return false
 }
 
-// checkGroupBy requires complete and global aggregations to see every
-// row of each group on one node; local (partial) aggregations are
-// correct anywhere by construction.
+// checkGroupBy requires complete and finalizing aggregations to see
+// every row of each group on one node; partial aggregations are correct
+// anywhere by construction.
 func checkGroupBy(o *core.Option, op *algebra.GroupBy) []Violation {
-	if op.Phase == algebra.AggLocal {
+	if op.Phase == algebra.AggPartial {
 		return nil
 	}
 	in := o.Inputs[0]
@@ -296,10 +297,10 @@ func distKindName(k core.DistKind) string {
 
 func phaseName(p algebra.AggPhase) string {
 	switch p {
-	case algebra.AggLocal:
-		return "local"
-	case algebra.AggGlobal:
-		return "global"
+	case algebra.AggPartial:
+		return "partial"
+	case algebra.AggFinal:
+		return "final"
 	default:
 		return "complete"
 	}

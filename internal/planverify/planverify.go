@@ -12,9 +12,11 @@
 //     (CheckPlan): every join's child placements must be compatible
 //     after the chosen enforcers (hash-hash joins collocated on an
 //     equijoin conjunct, replicated sides only where the join kind
-//     tolerates them), every complete/global group-by must be placed so
-//     all rows of a group live on one node, and every data movement
-//     must produce the placement its kind promises.
+//     tolerates them), every complete/finalizing group-by must be placed
+//     so all rows of a group live on one node, every partial/final
+//     aggregation split must pair correctly across its data movement,
+//     and every data movement must produce the placement its kind
+//     promises.
 //
 //   - Dataflow soundness over the DSQL step sequence (CheckDSQL):
 //     exactly one Return step and it comes last, every temp table is

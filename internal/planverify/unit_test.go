@@ -143,15 +143,70 @@ func TestPlanGroupByPlacement(t *testing.T) {
 	// Keyless aggregation over a distributed input.
 	scalar := relOpt(&algebra.GroupBy{}, core.HashOn(1), cols(1), in)
 	wantCode(t, CheckPlan(&core.Plan{Root: scalar}), CodeGroupByPlacement)
-	// A local (partial) aggregation is correct anywhere.
-	local := relOpt(&algebra.GroupBy{Keys: []algebra.ColumnID{2}, Phase: algebra.AggLocal},
+	// A partial aggregation is placement-correct anywhere, but its
+	// states must flow through a movement into a finalizer (the bare
+	// partial at the root is an orphan, checked in TestPlanAggSplit).
+	partial := relOpt(&algebra.GroupBy{Keys: []algebra.ColumnID{2}, Phase: algebra.AggPartial},
 		core.HashOn(1), cols(1, 2),
 		relOpt(&algebra.Values{Cols: cols(1, 2)}, core.HashOn(1), cols(1, 2)))
-	wantClean(t, CheckPlan(&core.Plan{Root: local}))
+	vs := CheckPlan(&core.Plan{Root: partial})
+	if codesOf(vs)[CodeGroupByPlacement] != 0 {
+		t.Fatalf("partial aggregation flagged for placement: %v", vs)
+	}
 	// Replicated and single inputs always aggregate correctly.
 	repIn := relOpt(&algebra.Values{Cols: cols(3)}, core.Replicated(), cols(3))
 	repGB := relOpt(&algebra.GroupBy{Keys: []algebra.ColumnID{3}}, core.Replicated(), cols(3), repIn)
 	wantClean(t, CheckPlan(&core.Plan{Root: repGB}))
+}
+
+// splitPair builds a well-formed partial → shuffle → final chain over a
+// hash-distributed input: COUNT state below the move, SUM merge above.
+func splitPair() (partial, move, final *core.Option) {
+	in := relOpt(&algebra.Values{Cols: cols(1, 2)}, core.HashOn(1), cols(1, 2))
+	partial = relOpt(&algebra.GroupBy{
+		Keys:  []algebra.ColumnID{1},
+		Aggs:  []algebra.AggDef{{Func: algebra.AggCount, ID: 10, Name: "partial10"}},
+		Phase: algebra.AggPartial,
+	}, core.HashOn(1), cols(1, 10), in)
+	move = moveOpt(cost.Shuffle, 1, core.HashOn(1), partial)
+	final = relOpt(&algebra.GroupBy{
+		Keys: []algebra.ColumnID{1},
+		Aggs: []algebra.AggDef{{
+			Func: algebra.AggSum,
+			Arg:  algebra.NewColRef(algebra.ColumnMeta{ID: 10, Type: types.KindInt}),
+			ID:   11, Name: "cnt",
+		}},
+		Phase: algebra.AggFinal,
+	}, core.HashOn(1), cols(1, 11), move)
+	return partial, move, final
+}
+
+func TestPlanAggSplit(t *testing.T) {
+	// The well-formed pair verifies clean.
+	_, _, final := splitPair()
+	wantClean(t, CheckPlan(&core.Plan{Root: final}))
+
+	// A partial with no finalizer anywhere is an orphan.
+	partial, move, _ := splitPair()
+	_ = partial
+	wantCode(t, CheckPlan(&core.Plan{Root: move}), CodeAggPartialOrphan)
+
+	// A partial consumed by anything but a finalizer leaks raw states.
+	_, move2, _ := splitPair()
+	j := relOpt(&algebra.Join{Kind: algebra.JoinInner, On: eq(1, 3)},
+		core.HashOn(1), cols(1, 10, 3), move2, baseHash(3))
+	wantCode(t, CheckPlan(&core.Plan{Root: j}), CodeAggPartialOrphan)
+
+	// A finalizer with more aggregates than its partner.
+	_, _, final3 := splitPair()
+	gb := final3.Op.(*algebra.GroupBy)
+	gb.Aggs = append(gb.Aggs, gb.Aggs[0])
+	wantCode(t, CheckPlan(&core.Plan{Root: final3}), CodeAggSplitMismatch)
+
+	// A split DISTINCT aggregate is never decomposable.
+	partial4, _, final4 := splitPair()
+	partial4.Op.(*algebra.GroupBy).Aggs[0].Distinct = true
+	wantCode(t, CheckPlan(&core.Plan{Root: final4}), CodeAggSplitMismatch)
 }
 
 func TestPlanUnionPlacement(t *testing.T) {

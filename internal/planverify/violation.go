@@ -45,6 +45,18 @@ const (
 	// CodeEstimateNegative: a negative or NaN row count, width or cost
 	// estimate, or a cost smaller than one of its inputs' costs.
 	CodeEstimateNegative Code = "estimate-negative"
+	// CodeAggFinalInput: a finalizing aggregation whose input is not a
+	// data movement over a matching partial aggregation — finalizing
+	// already-complete input double-counts every group.
+	CodeAggFinalInput Code = "agg-final-input"
+	// CodeAggPartialOrphan: a partial aggregation that does not reach
+	// exactly one finalizing aggregation through data movements — its
+	// per-node states escape unmerged.
+	CodeAggPartialOrphan Code = "agg-partial-orphan"
+	// CodeAggSplitMismatch: a partial/final pair whose grouping keys,
+	// state columns or merge functions disagree, or a non-decomposable
+	// (DISTINCT) aggregate that was split anyway.
+	CodeAggSplitMismatch Code = "agg-split-mismatch"
 
 	// --- DSQL dataflow soundness (CheckDSQL) ---
 

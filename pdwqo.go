@@ -141,10 +141,15 @@ type Options struct {
 	Budget int
 	// Lambda overrides the cost model constants; nil uses defaults.
 	Lambda *Lambda
-	// DisableInterestingRetention and DisableLocalGlobalAgg are ablations
-	// of Figure 4 step 06.ii and the §4 local/global split.
+	// DisableInterestingRetention is the ablation of Figure 4 step
+	// 06.ii (best-per-interesting-property retention).
 	DisableInterestingRetention bool
-	DisableLocalGlobalAgg       bool
+	// DisableAggSplit forces every GROUP BY to keep its complete,
+	// unsplit shape instead of enumerating the §4 partial/final
+	// aggregation split (per-node partial states, movement, finalize).
+	// It is the control arm of the metamorphic equivalence suite and
+	// the E9/E19 ablations; results must be identical either way.
+	DisableAggSplit bool
 	// SeedCollocated applies the §3.1 distribution-aware seeding: the
 	// initial plan inserted into the MEMO joins collocated factors first,
 	// which preserves plan quality under tight exploration budgets.
@@ -443,9 +448,9 @@ func (db *DB) envSignature(opts Options) string {
 	if opts.Lambda != nil {
 		lambda = *opts.Lambda
 	}
-	return fmt.Sprintf("mode=%d budget=%d noir=%t nolga=%t seedcol=%t nodes=%d lambda=%+v",
+	return fmt.Sprintf("mode=%d budget=%d noir=%t nosplit=%t seedcol=%t nodes=%d lambda=%+v",
 		opts.Mode, opts.Budget, opts.DisableInterestingRetention,
-		opts.DisableLocalGlobalAgg, opts.SeedCollocated,
+		opts.DisableAggSplit, opts.SeedCollocated,
 		db.shell.Topology.ComputeNodes, lambda)
 }
 
@@ -537,7 +542,7 @@ func (db *DB) compile(sql string, opts Options, pq *normalize.ParamQuery) (*Quer
 	cfg := core.Config{
 		Mode:                        opts.Mode,
 		DisableInterestingRetention: opts.DisableInterestingRetention,
-		DisableLocalGlobalAgg:       opts.DisableLocalGlobalAgg,
+		DisableAggSplit:             opts.DisableAggSplit,
 		Parallelism:                 opts.Parallelism,
 		Tracer:                      tr,
 		TraceParent:                 sp.ID(),
