@@ -1,5 +1,6 @@
 // Command pdwlint runs the project's static-analysis suite over the
-// module: comparechecked, spanclose, lockdiscipline and sentinelwrap.
+// module: comparechecked, spanclose, lockdiscipline, sentinelwrap and
+// baretruthy.
 // It loads packages with `go list -export -deps -json` (no network, no
 // external analysis dependencies) and prints findings as
 // file:line:col: message (analyzer), exiting 1 when any finding
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	"pdwqo/internal/analysis"
+	"pdwqo/internal/analysis/passes/baretruthy"
 	"pdwqo/internal/analysis/passes/comparechecked"
 	"pdwqo/internal/analysis/passes/lockdiscipline"
 	"pdwqo/internal/analysis/passes/sentinelwrap"
@@ -25,6 +27,7 @@ import (
 )
 
 var analyzers = []*analysis.Analyzer{
+	baretruthy.Analyzer,
 	comparechecked.Analyzer,
 	spanclose.Analyzer,
 	lockdiscipline.Analyzer,

@@ -1,0 +1,50 @@
+// Package baretruthy flags calls to exec.Truthy in operator code.
+// Truthy panics on non-BIT values and silently collapses NULL to false
+// with no way to distinguish the two, so predicate results reached from
+// user expressions — WHERE filters, join residuals, NOT operands — must
+// go through exec.TruthyChecked, which surfaces the kind error and makes
+// the NULL collapse an explicit, reviewable decision at the call site.
+package baretruthy
+
+import (
+	"go/ast"
+
+	"pdwqo/internal/analysis"
+)
+
+const execPkgPath = "pdwqo/internal/exec"
+
+// Analyzer is the baretruthy pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "baretruthy",
+	Doc:  "flag bare exec.Truthy calls that collapse NULL and panic on non-BIT; use TruthyChecked",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fn := call.Fun.(type) {
+			case *ast.Ident:
+				id = fn
+			case *ast.SelectorExpr:
+				id = fn.Sel
+			default:
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj != nil && obj.Name() == "Truthy" &&
+				obj.Pkg() != nil && obj.Pkg().Path() == execPkgPath {
+				pass.Reportf(call.Pos(),
+					"bare exec.Truthy collapses NULL to false and panics on non-BIT values; use exec.TruthyChecked")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package baretruthy_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pdwqo/internal/analysis"
+	"pdwqo/internal/analysis/passes/baretruthy"
+)
+
+func TestBareTruthy(t *testing.T) {
+	analysis.RunTest(t, filepath.Join("testdata", "src", "a"), baretruthy.Analyzer)
+}

@@ -1,0 +1,41 @@
+package a
+
+import (
+	"pdwqo/internal/exec"
+	"pdwqo/internal/types"
+)
+
+func bad(v types.Value) bool {
+	return exec.Truthy(v) // want `bare exec.Truthy`
+}
+
+func badAliased(v types.Value) bool {
+	truthy := exec.Truthy
+	return truthy(v) // the alias hides the call; only direct calls are flagged
+}
+
+func checked(v types.Value) (bool, error) {
+	return exec.TruthyChecked(v)
+}
+
+func unrelated(v types.Value) bool {
+	return Truthy(v)
+}
+
+// Truthy is a local function that happens to share the name; it must
+// not be flagged.
+func Truthy(v types.Value) bool {
+	ok, _ := exec.TruthyChecked(v)
+	return ok
+}
+
+// allowedDoc runs on values whose kind the caller already proved BIT.
+//
+//pdwlint:allow baretruthy
+func allowedDoc(v types.Value) bool {
+	return exec.Truthy(v)
+}
+
+func allowedLine(v types.Value) bool {
+	return exec.Truthy(v) //pdwlint:allow baretruthy
+}

@@ -1,0 +1,62 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestVecMatchesRowTPCH runs the full TPC-H case list under both the
+// vectorized and row executors at every topology and demands byte-identical
+// results.
+func TestVecMatchesRowTPCH(t *testing.T) {
+	topologies := []int{1, 2, 4, 8}
+	if testing.Short() {
+		topologies = []int{4}
+	}
+	if raceEnabled {
+		topologies = []int{8}
+	}
+	for _, nodes := range topologies {
+		db := openAppliance(t, nodes)
+		for _, c := range TPCHCases() {
+			t.Run(fmt.Sprintf("n%d/%s", nodes, c.Name), func(t *testing.T) {
+				if err := VecDiff(db, c, 8); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestVecMatchesRowFuzz sweeps a deterministic random-query corpus through
+// both engines on a 4-node appliance.
+func TestVecMatchesRowFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz corpus skipped in -short")
+	}
+	db := openAppliance(t, 4)
+	for _, c := range FuzzCases(40, 20260807) {
+		t.Run(c.Name, func(t *testing.T) {
+			if err := VecDiff(db, c, 8); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestVecChaosTPCH injects seeded faults into vectorized runs and checks
+// recovery against a fault-free row-engine reference.
+func TestVecChaosTPCH(t *testing.T) {
+	cases := TPCHCases()
+	if testing.Short() {
+		cases = cases[:6]
+	}
+	db := openAppliance(t, 4)
+	for i, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			if err := VecChaos(db, c, 8, int64(9000+i), 3); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

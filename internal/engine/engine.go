@@ -17,7 +17,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -32,6 +31,7 @@ import (
 	"pdwqo/internal/storage"
 	"pdwqo/internal/trace"
 	"pdwqo/internal/types"
+	"pdwqo/internal/vec"
 )
 
 // Node is one appliance node: the control node or a compute node.
@@ -64,6 +64,9 @@ type StepMetric struct {
 	// source nodes). Collected only while tracing, zero otherwise.
 	LocalOps  int64
 	LocalRows int64
+	// LocalBatches counts the column batches the vectorized executor
+	// emitted for the step (zero under the row engine or untraced).
+	LocalBatches int64
 }
 
 // Metrics accumulates execution measurements. The step slice is private:
@@ -185,6 +188,13 @@ type Appliance struct {
 	RetryBackoff time.Duration
 	// Faults is the active fault-injection plan; nil injects nothing.
 	Faults *FaultPlan
+
+	// RowExec selects the row-at-a-time executor for node-local step
+	// evaluation instead of the default vectorized engine. Both engines
+	// honor the same DSQL step contract and produce byte-identical
+	// relations (certified by internal/difftest); the row engine remains
+	// as the ablation arm and differential reference.
+	RowExec bool
 
 	// Tracer records per-step execution spans (payload: the step's
 	// StepMetric) and feeds the exec.* counters. Nil disables tracing at
@@ -410,12 +420,14 @@ func (a *Appliance) recordStepTrace(sp trace.Active, sm StepMetric) {
 		Duration:     sm.Duration,
 		LocalOps:     sm.LocalOps,
 		LocalRows:    sm.LocalRows,
+		LocalBatches: sm.LocalBatches,
 	})
 	c := a.Tracer.Counters()
 	c.Add("exec.steps", 1)
 	c.Add("exec.retries", int64(sm.Attempts-1))
 	c.Add("exec.local_ops", sm.LocalOps)
 	c.Add("exec.local_rows", sm.LocalRows)
+	c.Add("exec.local_batches", sm.LocalBatches)
 	if sm.IsMove {
 		c.Add("exec.bytes_moved", sm.Bytes)
 		c.Add("exec.rows_moved", sm.Rows)
@@ -562,7 +574,20 @@ func (a *Appliance) runOnNodes(ctx context.Context, stepID, move int, tree *alge
 		if stats != nil {
 			st = &stats[i]
 		}
-		rel, err := exec.RunStats(tree, src, st)
+		var rel *exec.Relation
+		var err error
+		if a.RowExec {
+			rel, err = exec.RunStats(tree, src, st)
+		} else {
+			csrc := func(name string) (*vec.Table, error) {
+				t, err := n.DB.ScanColumns(name)
+				if err != nil {
+					return nil, fmt.Errorf("node %d: no table %q", n.ID, name)
+				}
+				return t, nil
+			}
+			rel, err = exec.RunVecStats(tree, csrc, st)
+		}
 		if err != nil {
 			// Node-local evaluation failures are deterministic: attribute
 			// the node but classify as exec (not retryable).
@@ -784,6 +809,7 @@ func (a *Appliance) executeMove(ctx context.Context, step dsql.Step, tree *algeb
 		MaxNodeBytes: maxNode,
 		Duration:     time.Since(start),
 		LocalOps:     local.Ops, LocalRows: local.Rows,
+		LocalBatches: local.Batches,
 	}, nil
 }
 
@@ -819,31 +845,17 @@ func (a *Appliance) executeReturn(ctx context.Context, step dsql.Step, tree *alg
 		out.Rows = append(out.Rows, rel.Rows...)
 	}
 	if len(p.OrderBy) > 0 {
-		keys := p.OrderBy
-		// Merge keys can mix kinds when a CASE column mixes branch types;
-		// the checked compare turns that into a step error instead of a
-		// panic mid-sort.
-		var sortErr error
-		sort.SliceStable(out.Rows, func(i, j int) bool {
-			for _, k := range keys {
-				c, err := types.CompareChecked(out.Rows[i][k.Pos], out.Rows[j][k.Pos])
-				if err != nil {
-					if sortErr == nil {
-						sortErr = err
-					}
-					return false
-				}
-				if k.Desc {
-					c = -c
-				}
-				if c != 0 {
-					return c < 0
-				}
-			}
-			return false
-		})
-		if sortErr != nil {
-			return nil, StepMetric{}, stepError(step.ID, NoNode, ErrKindExec, sortErr)
+		keys := make([]exec.MergeKey, len(p.OrderBy))
+		for i, k := range p.OrderBy {
+			keys[i] = exec.MergeKey{Pos: k.Pos, Desc: k.Desc}
+		}
+		// The final merge runs the exact comparator the node-local sorts
+		// ran, so NULL placement cannot diverge between a node's ORDER BY
+		// and the control node's re-merge. Merge keys can mix kinds when
+		// a CASE column mixes branch types; the checked sort turns that
+		// into a step error instead of a panic mid-sort.
+		if err := exec.SortRows(out.Rows, keys); err != nil {
+			return nil, StepMetric{}, stepError(step.ID, NoNode, ErrKindExec, err)
 		}
 	}
 	if p.Top > 0 && int64(len(out.Rows)) > p.Top {
@@ -851,8 +863,9 @@ func (a *Appliance) executeReturn(ctx context.Context, step dsql.Step, tree *alg
 	}
 	return out, StepMetric{
 		Rows: int64(len(out.Rows)), Bytes: bytes,
-		Duration:  time.Since(start),
-		LocalOps:  local.Ops,
-		LocalRows: local.Rows,
+		Duration:     time.Since(start),
+		LocalOps:     local.Ops,
+		LocalRows:    local.Rows,
+		LocalBatches: local.Batches,
 	}, nil
 }

@@ -1,0 +1,80 @@
+package exec
+
+// Fuzz lock for the checked numeric casts: CastValue must never panic,
+// must round-trip every value it accepts, and must reject exactly the
+// values float64/int64 cannot carry — the edges that used to wrap
+// silently through Go's undefined float→int conversion.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pdwqo/internal/types"
+)
+
+func FuzzCastValue(f *testing.F) {
+	// Regression seeds: the first int64 above 2^53, the extremes whose
+	// float images round out of int64 range, NaN/±Inf, and benign values
+	// on both sides of every boundary.
+	seeds := []struct {
+		i int64
+		f float64
+	}{
+		{int64(1)<<53 + 1, 9.3e18},
+		{math.MaxInt64, math.NaN()},
+		{math.MinInt64, math.Inf(1)},
+		{-(int64(1)<<53 + 1), math.Inf(-1)},
+		{int64(1) << 53, 9223372036854775808.0},
+		{-(int64(1) << 53), -9223372036854775808.0},
+		{int64(1) << 54, -9.3e18},
+		{0, 123.9},
+		{42, -123.9},
+		{-1, 1e308},
+	}
+	for _, s := range seeds {
+		f.Add(s.i, s.f)
+	}
+	f.Fuzz(func(t *testing.T, i int64, fl float64) {
+		// INT → FLOAT: accepted values must round-trip exactly.
+		got, err := CastValue(types.NewInt(i), types.KindFloat)
+		if err != nil {
+			var ce *CastError
+			if !errors.As(err, &ce) {
+				t.Fatalf("int→float error is not a *CastError: %v", err)
+			}
+			if i > -(int64(1)<<53) && i < int64(1)<<53 {
+				t.Fatalf("int→float rejected exactly-representable %d: %v", i, err)
+			}
+		} else {
+			if got.Kind() != types.KindFloat {
+				t.Fatalf("int→float produced %s", got.Kind())
+			}
+			f := got.Float()
+			if f >= 9223372036854775808.0 || int64(f) != i {
+				t.Fatalf("int→float accepted lossy %d (as %g)", i, f)
+			}
+		}
+
+		// FLOAT → INT: accepted values must equal Go truncation; rejects
+		// are exactly NaN and out-of-range.
+		got, err = CastValue(types.NewFloat(fl), types.KindInt)
+		inRange := !math.IsNaN(fl) && fl < 9223372036854775808.0 && fl >= -9223372036854775808.0
+		if err != nil {
+			var ce *CastError
+			if !errors.As(err, &ce) {
+				t.Fatalf("float→int error is not a *CastError: %v", err)
+			}
+			if inRange {
+				t.Fatalf("float→int rejected in-range %g: %v", fl, err)
+			}
+		} else {
+			if !inRange {
+				t.Fatalf("float→int accepted out-of-range %g", fl)
+			}
+			if got.Kind() != types.KindInt || got.Int() != int64(fl) {
+				t.Fatalf("float→int %g = %v, want %d", fl, got, int64(fl))
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 
 	"pdwqo/internal/algebra"
 	"pdwqo/internal/normalize"
@@ -244,19 +245,88 @@ func evalBinary(x *algebra.Binary, env *Env) (types.Value, error) {
 	return types.Null, fmt.Errorf("exec: unknown operator %s", x.Op)
 }
 
-// CastValue converts a runtime value to the target kind.
+// CastError reports a CAST that is unsupported between two kinds, or —
+// for the numeric conversions — one whose value cannot survive the
+// conversion exactly (overflow, NaN, or precision loss). It is a typed
+// error so callers can distinguish a bad query shape from a bad value.
+type CastError struct {
+	From, To types.Kind
+	// Reason is empty for unsupported kind pairs and names the failing
+	// value for checked numeric conversions.
+	Reason string
+}
+
+func (e *CastError) Error() string {
+	if e.Reason == "" {
+		return fmt.Sprintf("exec: cannot cast %s to %s", e.From, e.To)
+	}
+	return fmt.Sprintf("exec: cannot cast %s to %s: %s", e.From, e.To, e.Reason)
+}
+
+// maxExactInt is 2^53: float64 represents every integer of smaller
+// magnitude exactly; above it the round-trip check decides.
+const maxExactInt = int64(1) << 53
+
+// CastIntToFloat converts an INT to FLOAT, rejecting values float64
+// cannot represent exactly (|i| > 2^53 with set low bits) instead of
+// silently rounding them.
+func CastIntToFloat(i int64) (float64, error) {
+	f := float64(i)
+	if i > -maxExactInt && i < maxExactInt {
+		return f, nil
+	}
+	// float64(MaxInt64) rounds up to 2^63, which is outside int64 and
+	// would make the round-trip conversion itself undefined — it is lossy
+	// by construction, as is any value the round trip fails to restore.
+	if f >= 9223372036854775808.0 || int64(f) != i {
+		return 0, &CastError{From: types.KindInt, To: types.KindFloat,
+			Reason: fmt.Sprintf("%d loses precision as FLOAT", i)}
+	}
+	return f, nil
+}
+
+// CastFloatToInt truncates a FLOAT toward zero, rejecting NaN and values
+// outside the INT range instead of hitting Go's undefined float→int
+// conversion. 2^63−1 is not a float64, so the exclusive upper bound is
+// 2^63 itself; −2^63 is exact and valid.
+func CastFloatToInt(f float64) (int64, error) {
+	if math.IsNaN(f) {
+		return 0, &CastError{From: types.KindFloat, To: types.KindInt,
+			Reason: "NaN has no INT value"}
+	}
+	if f >= 9223372036854775808.0 || f < -9223372036854775808.0 {
+		return 0, &CastError{From: types.KindFloat, To: types.KindInt,
+			Reason: fmt.Sprintf("%g overflows INT", f)}
+	}
+	return int64(f), nil
+}
+
+// CastValue converts a runtime value to the target kind. Numeric
+// conversions are checked: values that would overflow or lose precision
+// return a *CastError instead of silently wrapping.
 func CastValue(v types.Value, to types.Kind) (types.Value, error) {
 	if v.IsNull() || v.Kind() == to {
 		return v, nil
 	}
 	switch to {
 	case types.KindFloat:
+		if v.Kind() == types.KindInt {
+			f, err := CastIntToFloat(v.Int())
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewFloat(f), nil
+		}
 		if v.Kind().Numeric() {
 			return types.NewFloat(v.Float()), nil
 		}
 	case types.KindInt:
 		if v.Kind() == types.KindFloat {
-			return types.NewInt(int64(v.Float())), nil
+			i, err := CastFloatToInt(v.Float())
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewInt(i), nil
 		}
 	case types.KindDate:
 		if v.Kind() == types.KindString {
@@ -269,7 +339,7 @@ func CastValue(v types.Value, to types.Kind) (types.Value, error) {
 			return types.NewBool(v.Int() != 0), nil
 		}
 	}
-	return types.Null, fmt.Errorf("exec: cannot cast %s to %s", v.Kind(), to)
+	return types.Null, &CastError{From: v.Kind(), To: to}
 }
 
 // evalBool evaluates a logical operand into three-valued form: the

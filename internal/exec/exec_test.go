@@ -54,8 +54,8 @@ func TestEvalNullPropagation(t *testing.T) {
 	if err != nil || !v.IsNull() {
 		t.Errorf("NULL = 1 should be NULL: %v", v)
 	}
-	if Truthy(v) {
-		t.Error("NULL is not truthy")
+	if ok, err := TruthyChecked(v); err != nil || ok {
+		t.Errorf("NULL is not truthy (ok=%v err=%v)", ok, err)
 	}
 	// NULL AND FALSE = FALSE; NULL OR TRUE = TRUE (three-valued logic).
 	and := &algebra.Binary{Op: sqlparser.OpAnd, L: cmp, R: cnst(types.NewBool(false))}
@@ -378,7 +378,7 @@ func TestHashJoinMatchesLoopJoin(t *testing.T) {
 		on := &algebra.Binary{Op: sqlparser.OpEq, L: algebra.NewColRef(lCols[0]), R: algebra.NewColRef(rCols[0])}
 		for _, kind := range []algebra.JoinKind{algebra.JoinInner, algebra.JoinLeftOuter, algebra.JoinSemi, algebra.JoinAnti} {
 			op := &algebra.Join{Kind: kind, On: on}
-			outCols := joinOutCols(op, l, rr)
+			outCols := joinOutCols(op, l.Cols, rr.Cols)
 			h, err := hashJoin(op, l, rr, []int{0}, []int{0}, nil, outCols)
 			if err != nil {
 				t.Fatal(err)

@@ -167,13 +167,16 @@ func runProject(op *algebra.Project, in *Relation, outCols []algebra.ColumnMeta)
 }
 
 // splitJoinCond separates equi-join column pairs from residual conjuncts.
-func splitJoinCond(on algebra.Scalar, l, r *Relation) (lKeys, rKeys []int, residual []algebra.Scalar) {
+// It depends only on the two input schemas, so the row and vectorized
+// engines share one key-extraction policy (and therefore one hash-join
+// eligibility decision).
+func splitJoinCond(on algebra.Scalar, lCols, rCols []algebra.ColumnMeta) (lKeys, rKeys []int, residual []algebra.Scalar) {
 	lIdx := map[algebra.ColumnID]int{}
-	for i, c := range l.Cols {
+	for i, c := range lCols {
 		lIdx[c.ID] = i
 	}
 	rIdx := map[algebra.ColumnID]int{}
-	for i, c := range r.Cols {
+	for i, c := range rCols {
 		rIdx[c.ID] = i
 	}
 	for _, conj := range algebra.Conjuncts(on) {
@@ -199,8 +202,8 @@ func splitJoinCond(on algebra.Scalar, l, r *Relation) (lKeys, rKeys []int, resid
 }
 
 func runJoin(op *algebra.Join, l, r *Relation) (*Relation, error) {
-	outCols := joinOutCols(op, l, r)
-	lKeys, rKeys, residual := splitJoinCond(op.On, l, r)
+	outCols := joinOutCols(op, l.Cols, r.Cols)
+	lKeys, rKeys, residual := splitJoinCond(op.On, l.Cols, r.Cols)
 	res := algebra.AndAll(residual)
 	if len(lKeys) > 0 {
 		return hashJoin(op, l, r, lKeys, rKeys, res, outCols)
@@ -208,14 +211,14 @@ func runJoin(op *algebra.Join, l, r *Relation) (*Relation, error) {
 	return loopJoin(op, l, r, op.On, outCols)
 }
 
-func joinOutCols(op *algebra.Join, l, r *Relation) []algebra.ColumnMeta {
+func joinOutCols(op *algebra.Join, lCols, rCols []algebra.ColumnMeta) []algebra.ColumnMeta {
 	switch op.Kind {
 	case algebra.JoinSemi, algebra.JoinAnti:
-		return l.Cols
+		return lCols
 	default:
-		out := make([]algebra.ColumnMeta, 0, len(l.Cols)+len(r.Cols))
-		out = append(out, l.Cols...)
-		out = append(out, r.Cols...)
+		out := make([]algebra.ColumnMeta, 0, len(lCols)+len(rCols))
+		out = append(out, lCols...)
+		out = append(out, rCols...)
 		return out
 	}
 }
@@ -418,7 +421,6 @@ func newAggState(def algebra.AggDef) *aggState {
 }
 
 func (s *aggState) add(env *Env) error {
-	var v types.Value
 	if s.def.Arg == nil {
 		// COUNT(*): every row counts.
 		s.count++
@@ -428,6 +430,14 @@ func (s *aggState) add(env *Env) error {
 	if err != nil {
 		return err
 	}
+	return s.addValue(v)
+}
+
+// addValue folds one already-evaluated argument value into the state; the
+// vectorized engine routes batch-evaluated arguments here so both engines
+// share one accumulation semantics (NULL skip, DISTINCT hashing, SUM kind
+// adoption, checked MIN/MAX comparison).
+func (s *aggState) addValue(v types.Value) error {
 	if v.IsNull() {
 		return nil
 	}
@@ -563,43 +573,16 @@ func runGroupBy(op *algebra.GroupBy, in *Relation, outCols []algebra.ColumnMeta)
 }
 
 func runSort(op *algebra.Sort, in *Relation) (*Relation, error) {
-	keyPos := make([]int, len(op.Keys))
-	for i, k := range op.Keys {
-		keyPos[i] = -1
-		for j, c := range in.Cols {
-			if c.ID == k.ID {
-				keyPos[i] = j
-			}
-		}
-		if keyPos[i] < 0 {
-			return nil, fmt.Errorf("exec: sort key c%d missing", k.ID)
-		}
+	keys, err := sortMergeKeys(op.Keys, in.Cols)
+	if err != nil {
+		return nil, err
 	}
 	rows := append([]types.Row{}, in.Rows...)
 	// Sort keys over user expressions can mix kinds across rows; the
 	// checked compare collects the first mismatch and fails the sort
 	// instead of panicking mid-comparison.
-	var sortErr error
-	sort.SliceStable(rows, func(i, j int) bool {
-		for ki, p := range keyPos {
-			c, err := types.CompareChecked(rows[i][p], rows[j][p])
-			if err != nil {
-				if sortErr == nil {
-					sortErr = err
-				}
-				return false
-			}
-			if op.Keys[ki].Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
-	if sortErr != nil {
-		return nil, fmt.Errorf("exec: ORDER BY key: %w", sortErr)
+	if err := SortRows(rows, keys); err != nil {
+		return nil, fmt.Errorf("exec: ORDER BY key: %w", err)
 	}
 	if op.Top > 0 && int64(len(rows)) > op.Top {
 		rows = rows[:op.Top]
@@ -607,31 +590,69 @@ func runSort(op *algebra.Sort, in *Relation) (*Relation, error) {
 	return &Relation{Cols: in.Cols, Rows: rows}, nil
 }
 
-// SortRows orders rows by (position, desc) merge keys; shared with the
-// control node's final merge. It reports the first incomparable key pair
-// instead of panicking.
-func SortRows(rows []types.Row, keys []struct {
-	Pos  int
-	Desc bool
-}) error {
-	var sortErr error
-	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range keys {
-			c, err := types.CompareChecked(rows[i][k.Pos], rows[j][k.Pos])
-			if err != nil {
-				if sortErr == nil {
-					sortErr = err
-				}
-				return false
-			}
-			if k.Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
+// sortMergeKeys resolves a Sort's column IDs against the input schema
+// into positional merge keys.
+func sortMergeKeys(keys []algebra.SortKey, cols []algebra.ColumnMeta) ([]MergeKey, error) {
+	out := make([]MergeKey, len(keys))
+	for i, k := range keys {
+		out[i] = MergeKey{Pos: -1, Desc: k.Desc}
+		for j, c := range cols {
+			if c.ID == k.ID {
+				out[i].Pos = j
 			}
 		}
-		return false
+		if out[i].Pos < 0 {
+			return nil, fmt.Errorf("exec: sort key c%d missing", k.ID)
+		}
+	}
+	return out, nil
+}
+
+// MergeKey orders one sort column by row position; Desc flips the
+// direction. It is the engine-wide sort-key currency: node-local ORDER
+// BY, TOP-N, and the control node's final merge all reduce their key
+// specs to []MergeKey so every path runs the same comparator — and
+// therefore the same NULL placement on every node.
+type MergeKey struct {
+	Pos  int
+	Desc bool
+}
+
+// CompareRowsChecked compares two rows under keys with the engine's NULL
+// contract: types.CompareChecked sorts NULL before every non-NULL value,
+// and Desc negates the comparison as a whole — so NULLs place FIRST on
+// ascending keys and LAST on descending keys. It reports the first
+// incomparable key pair instead of panicking.
+func CompareRowsChecked(a, b types.Row, keys []MergeKey) (int, error) {
+	for _, k := range keys {
+		c, err := types.CompareChecked(a[k.Pos], b[k.Pos])
+		if err != nil {
+			return 0, err
+		}
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c, nil
+		}
+	}
+	return 0, nil
+}
+
+// SortRows stable-sorts rows in place by merge keys; shared by the
+// node-local ORDER BY/TOP-N paths and the control node's final merge.
+// It reports the first incomparable key pair instead of panicking.
+func SortRows(rows []types.Row, keys []MergeKey) error {
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		c, err := CompareRowsChecked(rows[i], rows[j], keys)
+		if err != nil {
+			if sortErr == nil {
+				sortErr = err
+			}
+			return false
+		}
+		return c < 0
 	})
 	return sortErr
 }

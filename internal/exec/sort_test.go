@@ -1,0 +1,88 @@
+package exec
+
+import (
+	"testing"
+
+	"pdwqo/internal/types"
+)
+
+// rowsOf builds single-column rows from a value list.
+func rowsOf(vals ...types.Value) []types.Row {
+	out := make([]types.Row, len(vals))
+	for i, v := range vals {
+		out[i] = types.Row{v}
+	}
+	return out
+}
+
+func TestSortRowsNullPlacement(t *testing.T) {
+	vals := func() []types.Row {
+		return rowsOf(types.NewInt(2), types.Null, types.NewInt(1), types.Null, types.NewInt(3))
+	}
+
+	asc := vals()
+	if err := SortRows(asc, []MergeKey{{Pos: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Ascending: NULLS FIRST, then values in order.
+	for i, want := range []types.Value{types.Null, types.Null, types.NewInt(1), types.NewInt(2), types.NewInt(3)} {
+		if got := asc[i][0]; got.IsNull() != want.IsNull() || (!want.IsNull() && got.Int() != want.Int()) {
+			t.Fatalf("asc[%d] = %v, want %v", i, got, want)
+		}
+	}
+
+	desc := vals()
+	if err := SortRows(desc, []MergeKey{{Pos: 0, Desc: true}}); err != nil {
+		t.Fatal(err)
+	}
+	// Descending negates the whole comparison: NULLS LAST.
+	for i, want := range []types.Value{types.NewInt(3), types.NewInt(2), types.NewInt(1), types.Null, types.Null} {
+		if got := desc[i][0]; got.IsNull() != want.IsNull() || (!want.IsNull() && got.Int() != want.Int()) {
+			t.Fatalf("desc[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSortRowsStableTies(t *testing.T) {
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString("a")},
+		{types.NewInt(1), types.NewString("b")},
+		{types.NewInt(0), types.NewString("c")},
+		{types.NewInt(1), types.NewString("d")},
+	}
+	if err := SortRows(rows, []MergeKey{{Pos: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	got := ""
+	for _, r := range rows {
+		got += r[1].Str()
+	}
+	if got != "cabd" {
+		t.Fatalf("stable tie order = %q, want cabd", got)
+	}
+}
+
+func TestSortRowsIncomparable(t *testing.T) {
+	rows := rowsOf(types.NewInt(1), types.NewString("x"))
+	if err := SortRows(rows, []MergeKey{{Pos: 0}}); err == nil {
+		t.Fatal("mixed INT/VARCHAR sort key must error, not panic")
+	}
+}
+
+func TestCompareRowsChecked(t *testing.T) {
+	a := types.Row{types.NewInt(1), types.Null}
+	b := types.Row{types.NewInt(1), types.NewInt(5)}
+	// Tie on key 0, NULL < 5 on key 1.
+	c, err := CompareRowsChecked(a, b, []MergeKey{{Pos: 0}, {Pos: 1}})
+	if err != nil || c >= 0 {
+		t.Fatalf("NULL should sort before 5 ascending: c=%d err=%v", c, err)
+	}
+	c, err = CompareRowsChecked(a, b, []MergeKey{{Pos: 0}, {Pos: 1, Desc: true}})
+	if err != nil || c <= 0 {
+		t.Fatalf("NULL should sort after 5 descending: c=%d err=%v", c, err)
+	}
+	c, err = CompareRowsChecked(a, a, []MergeKey{{Pos: 0}, {Pos: 1}})
+	if err != nil || c != 0 {
+		t.Fatalf("row vs itself: c=%d err=%v", c, err)
+	}
+}

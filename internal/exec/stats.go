@@ -11,6 +11,10 @@ type Stats struct {
 	Ops      int64 // operator nodes evaluated
 	Rows     int64 // rows produced across all operators
 	ScanRows int64 // rows produced by base-table scans (Get/Values)
+	// Batches counts the column batches operators emitted. The row engine
+	// leaves it zero; under the vectorized engine it is the denominator
+	// that turns Rows into observed batch occupancy.
+	Batches int64
 }
 
 // Merge adds o's tallies into s.
@@ -18,6 +22,7 @@ func (s *Stats) Merge(o Stats) {
 	s.Ops += o.Ops
 	s.Rows += o.Rows
 	s.ScanRows += o.ScanRows
+	s.Batches += o.Batches
 }
 
 // record counts one evaluated operator. A nil receiver is the disabled
@@ -26,10 +31,21 @@ func (s *Stats) record(op algebra.Operator, rel *Relation) {
 	if s == nil {
 		return
 	}
+	s.recordCounts(op, int64(len(rel.Rows)), 0)
+}
+
+// recordCounts is the engine-agnostic tally: one operator node evaluated,
+// producing rows across batches (0 batches on the row engine). Both
+// engines route through it so their Ops/Rows/ScanRows agree exactly.
+func (s *Stats) recordCounts(op algebra.Operator, rows, batches int64) {
+	if s == nil {
+		return
+	}
 	s.Ops++
-	s.Rows += int64(len(rel.Rows))
+	s.Rows += rows
+	s.Batches += batches
 	switch op.(type) {
 	case *algebra.Get, *algebra.Values:
-		s.ScanRows += int64(len(rel.Rows))
+		s.ScanRows += rows
 	}
 }

@@ -1,0 +1,112 @@
+package exec
+
+// Allocation-free row hashing for the vectorized engine's join-build and
+// group-by maps. types.Hash routes every value through an fnv.New64a
+// heap allocation and hash.Hash64 interface calls — fine for occasional
+// use, fatal in a per-row hot loop. This fold inlines the same FNV-1a
+// scheme with the same normalization guarantee: numerics hash by their
+// float64 bit pattern regardless of INT/FLOAT kind, so Equal(a, b)
+// implies hashVal(h, a) == hashVal(h, b). Bucket membership therefore
+// coincides with the equality both engines confirm via Compare, and the
+// bucket function itself can differ from types.HashRowKey without any
+// observable difference in results.
+
+import (
+	"math"
+
+	"pdwqo/internal/types"
+	"pdwqo/internal/vec"
+)
+
+const (
+	fnvOffset64 = 1469598103934665603
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvU64(h uint64, x uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = fnvByte(h, byte(x>>uint(s)))
+	}
+	return h
+}
+
+// hashVal folds one value into a running FNV-1a state. Kind tags keep
+// NULL, FALSE and 0 distinct; INT and FLOAT share a tag and hash their
+// float64 coercion so cross-kind numeric equality hashes identically.
+func hashVal(h uint64, v types.Value) uint64 {
+	switch v.Kind() {
+	case types.KindNull:
+		return fnvByte(h, 0)
+	case types.KindBool:
+		h = fnvByte(h, 1)
+		if v.Bool() {
+			return fnvByte(h, 1)
+		}
+		return fnvByte(h, 0)
+	case types.KindInt:
+		return fnvU64(fnvByte(h, 2), math.Float64bits(float64(v.Int())))
+	case types.KindFloat:
+		return fnvU64(fnvByte(h, 2), math.Float64bits(v.Float()))
+	case types.KindDate:
+		return fnvU64(fnvByte(h, 4), uint64(v.DateDays()))
+	default: // KindString
+		h = fnvByte(h, 5)
+		s := v.Str()
+		for i := 0; i < len(s); i++ {
+			h = fnvByte(h, s[i])
+		}
+		return h
+	}
+}
+
+// hashRow folds a composite key without allocating.
+func hashRow(vals []types.Value) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range vals {
+		h = hashVal(h, v)
+	}
+	return h
+}
+
+// foldVecHash folds one key column into a batch's running row hashes,
+// column-wise. Typed NULL-free vectors skip boxing entirely; everything
+// else routes through hashVal on the boxed value, so the fold order and
+// encoding match hashRow exactly.
+func foldVecHash(v *vec.Vec, n int, hs []uint64) {
+	if !v.Mixed && v.Nulls == nil {
+		switch v.Kind {
+		case types.KindInt:
+			for i := 0; i < n; i++ {
+				hs[i] = fnvU64(fnvByte(hs[i], 2), math.Float64bits(float64(v.I64[i])))
+			}
+			return
+		case types.KindFloat:
+			for i := 0; i < n; i++ {
+				hs[i] = fnvU64(fnvByte(hs[i], 2), math.Float64bits(v.F64[i]))
+			}
+			return
+		case types.KindDate:
+			for i := 0; i < n; i++ {
+				hs[i] = fnvU64(fnvByte(hs[i], 4), uint64(v.I64[i]))
+			}
+			return
+		case types.KindString:
+			for i := 0; i < n; i++ {
+				h := fnvByte(hs[i], 5)
+				s := v.Str[i]
+				for k := 0; k < len(s); k++ {
+					h = fnvByte(h, s[k])
+				}
+				hs[i] = h
+			}
+			return
+		}
+	}
+	for i := 0; i < n; i++ {
+		hs[i] = hashVal(hs[i], v.At(i))
+	}
+}

@@ -147,6 +147,11 @@ func writeStep(b *strings.Builder, s dsql.Step, opts Options, acts map[int]engin
 	}
 	fmt.Fprintf(b, "    actual: rows=%d bytes=%d attempts=%d time=%s",
 		a.Rows, a.Bytes, a.Attempts, a.Duration.Round(time.Microsecond))
+	if a.LocalBatches > 0 {
+		// Vectorized node-local execution: how many column batches carried
+		// the step's LocalRows.
+		fmt.Fprintf(b, " batches=%d", a.LocalBatches)
+	}
 	if s.Kind == dsql.StepMove {
 		fmt.Fprintf(b, " q_rows=%s q_bytes=%s",
 			fmtQ(cost.QError(s.Rows, float64(a.Rows))),

@@ -49,6 +49,7 @@ type jsonActual struct {
 	Bytes      int64    `json:"bytes"`
 	Attempts   int      `json:"attempts"`
 	DurationNs int64    `json:"durationNs"`
+	Batches    int64    `json:"batches,omitempty"`
 	QRows      *float64 `json:"qRows,omitempty"`
 	QBytes     *float64 `json:"qBytes,omitempty"`
 }
@@ -142,6 +143,7 @@ func buildActual(s dsql.Step, a engine.StepMetric) *jsonActual {
 		Bytes:      a.Bytes,
 		Attempts:   a.Attempts,
 		DurationNs: int64(a.Duration),
+		Batches:    a.LocalBatches,
 	}
 	if s.Kind == dsql.StepMove {
 		ja.QRows = qPtr(cost.QError(s.Rows, float64(a.Rows)))

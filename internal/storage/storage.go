@@ -12,13 +12,20 @@ import (
 
 	"pdwqo/internal/catalog"
 	"pdwqo/internal/types"
+	"pdwqo/internal/vec"
 )
 
-// Table is one stored table's rows plus schema.
+// Table is one stored table's rows plus schema. Rows remain the
+// authoritative representation (they are what DMS moves deliver); the
+// columnar mirror is built on demand for the vectorized executor and
+// invalidated whenever the row count changes.
 type Table struct {
 	Name string
 	Cols []catalog.Column
 	Rows []types.Row
+
+	colMirror *vec.Table
+	mirrorLen int
 }
 
 // DB is a node-local database instance.
@@ -103,6 +110,28 @@ func (db *DB) Scan(name string) ([]types.Row, error) {
 		return nil, fmt.Errorf("storage: unknown table %q", name)
 	}
 	return t.Rows, nil
+}
+
+// ScanColumns returns the table's typed columnar mirror (shared; callers
+// must not mutate), building or refreshing it when rows arrived since
+// the last columnarization. The mirror is cached per table under the
+// write lock so concurrent queries columnarize a hot table once.
+func (db *DB) ScanColumns(name string) (*vec.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	if t.colMirror == nil || t.mirrorLen != len(t.Rows) {
+		names := make([]string, len(t.Cols))
+		for i, c := range t.Cols {
+			names[i] = c.Name
+		}
+		t.colMirror = vec.FromRows(names, t.Rows)
+		t.mirrorLen = len(t.Rows)
+	}
+	return t.colMirror, nil
 }
 
 // Table returns the stored table, or nil.

@@ -42,6 +42,9 @@ func (t *Tracer) Text() string {
 				if st.LocalOps > 0 {
 					fmt.Fprintf(&b, " local_ops=%d local_rows=%d", st.LocalOps, st.LocalRows)
 				}
+				if st.LocalBatches > 0 {
+					fmt.Fprintf(&b, " local_batches=%d", st.LocalBatches)
+				}
 			}
 			if s.Err != "" {
 				fmt.Fprintf(&b, "  err=%q", s.Err)

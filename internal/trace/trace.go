@@ -44,6 +44,9 @@ type StepStats struct {
 	// step (operators run, rows produced), summed over source nodes.
 	LocalOps  int64 `json:"localOps,omitempty"`
 	LocalRows int64 `json:"localRows,omitempty"`
+	// LocalBatches counts the column batches the vectorized executor
+	// emitted (zero under the row engine).
+	LocalBatches int64 `json:"localBatches,omitempty"`
 }
 
 // Span is one recorded interval (or instantaneous event, Dur == 0).

@@ -1,0 +1,104 @@
+package pdwqo
+
+// Regression lock for the engine-wide NULL-ordering contract: every sort
+// in the system — node-local ORDER BY, TOP-N, and the control node's
+// final merge — runs the one shared comparator in internal/exec, so NULL
+// keys place FIRST on ascending keys and LAST on descending keys,
+// identically on every topology. Before the comparator was shared, the
+// ORDER BY, TOP-N and merge paths each carried their own copy of this
+// logic, and a divergence would only surface as node-count-dependent row
+// order.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNullOrderingAcrossTopologies(t *testing.T) {
+	// CASE with no ELSE yields NULL for non-positive balances, so the
+	// ORDER BY key mixes NULL and FLOAT; c_custkey breaks ties to make
+	// the total order unique (and therefore byte-identical across N).
+	cases := []struct {
+		name string
+		sql  string
+		desc bool
+	}{
+		{"asc-nulls-first",
+			`SELECT c_custkey, CASE WHEN c_acctbal > 0 THEN c_acctbal END AS k FROM customer ORDER BY k, c_custkey`, false},
+		{"desc-nulls-last",
+			`SELECT c_custkey, CASE WHEN c_acctbal > 0 THEN c_acctbal END AS k FROM customer ORDER BY k DESC, c_custkey`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ref []string
+			var refN int
+			for _, n := range []int{1, 2, 4, 8} {
+				db, err := OpenTPCH(0.001, n, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := db.Execute(tc.sql, Options{})
+				if err != nil {
+					t.Fatalf("N=%d: %v", n, err)
+				}
+				if len(res.Rows) == 0 {
+					t.Fatalf("N=%d: empty result", n)
+				}
+				// NULL keys must form a contiguous prefix (asc) or suffix
+				// (desc); any interleaving is a comparator divergence.
+				boundary := -1
+				for i, row := range res.Rows {
+					isNull := row[1].IsNull()
+					if tc.desc {
+						isNull = !isNull
+					}
+					if isNull && boundary >= 0 {
+						t.Fatalf("N=%d: NULL key at row %d after non-NULL at row %d (desc=%v)",
+							n, i, boundary, tc.desc)
+					}
+					if !isNull && boundary < 0 {
+						boundary = i
+					}
+				}
+				rows := make([]string, len(res.Rows))
+				for i, row := range res.Rows {
+					parts := make([]string, len(row))
+					for j, v := range row {
+						parts[j] = v.String()
+					}
+					rows[i] = strings.Join(parts, "|")
+				}
+				if ref == nil {
+					ref, refN = rows, n
+					// The single-node reference executor must agree with
+					// the distributed result row for row.
+					serial, err := db.ExecuteSerial(tc.sql)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(serial.Rows) != len(rows) {
+						t.Fatalf("serial reference row count %d vs %d", len(serial.Rows), len(rows))
+					}
+					for i, row := range serial.Rows {
+						parts := make([]string, len(row))
+						for j, v := range row {
+							parts[j] = v.String()
+						}
+						if got := strings.Join(parts, "|"); got != rows[i] {
+							t.Fatalf("serial reference row %d: %s vs %s", i, got, rows[i])
+						}
+					}
+					continue
+				}
+				if len(rows) != len(ref) {
+					t.Fatalf("N=%d: row count %d, N=%d: %d", n, len(rows), refN, len(ref))
+				}
+				for i := range rows {
+					if rows[i] != ref[i] {
+						t.Fatalf("N=%d row %d = %s, N=%d = %s", n, i, rows[i], refN, ref[i])
+					}
+				}
+			}
+		})
+	}
+}
