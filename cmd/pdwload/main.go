@@ -1,0 +1,57 @@
+// Command pdwload drives concurrent sessions against a running pdwserver
+// and reports latency percentiles, throughput, plan-cache hit rate, and
+// typed-error counts.
+//
+// Usage:
+//
+//	pdwload [-addr 127.0.0.1:7420] [-sessions 100] [-queries 20]
+//	        [-duration 0] [-prepared 0.5] [-seed 1]
+//
+// With -duration set, every session issues queries until the clock runs
+// out; otherwise each issues -queries queries. -prepared is the fraction
+// of sessions using prepared statements (re-binding constants into the
+// server's cached plan templates) instead of ad-hoc text.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"pdwqo/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7420", "server address")
+		sessions = flag.Int("sessions", 100, "concurrent sessions")
+		queries  = flag.Int("queries", 20, "queries per session (ignored when -duration is set)")
+		duration = flag.Duration("duration", 0, "run for a fixed time instead of a fixed query count")
+		prepared = flag.Float64("prepared", 0.5, "fraction of sessions using prepared statements")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		Addr:              *addr,
+		Sessions:          *sessions,
+		QueriesPerSession: *queries,
+		Duration:          *duration,
+		PreparedFraction:  *prepared,
+		Seed:              *seed,
+	}
+	if *duration > 0 {
+		cfg.QueriesPerSession = 0
+	}
+	rep, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdwload:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+	if rep.DialFails > 0 {
+		fmt.Fprintf(os.Stderr, "pdwload: %d sessions failed to connect\n", rep.DialFails)
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"pdwqo/internal/stats"
@@ -129,14 +130,23 @@ type Topology struct {
 }
 
 // Shell is the shell database: the single-system image of the appliance.
+//
+// A Shell is safe for concurrent use: lookups take a read lock, DDL and
+// statistics refreshes take the write lock, and a refresh replaces the
+// table entry copy-on-write — a reader that already resolved a *Table
+// keeps an immutable snapshot of the metadata it compiled against while
+// later lookups observe the new statistics (and the bumped epoch).
 type Shell struct {
 	Topology Topology
-	tables   map[string]*Table
 
 	// epoch is the catalog/statistics version: bumped by every DDL change
 	// (AddTable) and statistics refresh (SetStats). Plan caches key on it,
 	// so a compiled plan can never outlive the metadata it was built from.
+	// Atomic, so it lives above mu: readers never take the lock for it.
 	epoch atomic.Uint64
+
+	mu     sync.RWMutex
+	tables map[string]*Table
 }
 
 // NewShell returns an empty shell database for an appliance with n compute
@@ -151,6 +161,8 @@ func (s *Shell) AddTable(t *Table) error {
 		return fmt.Errorf("catalog: table with empty name")
 	}
 	key := strings.ToLower(t.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.tables[key]; ok {
 		return fmt.Errorf("catalog: table %q already exists", t.Name)
 	}
@@ -194,26 +206,38 @@ func (s *Shell) BumpEpoch() uint64 { return s.epoch.Add(1) }
 
 // Table resolves a table by name (case-insensitive), or nil.
 func (s *Shell) Table(name string) *Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.tables[strings.ToLower(name)]
 }
 
 // Tables returns every table sorted by name, for deterministic iteration.
 func (s *Shell) Tables() []*Table {
+	s.mu.RLock()
 	out := make([]*Table, 0, len(s.tables))
 	for _, t := range s.tables {
 		out = append(out, t)
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// SetStats attaches merged global statistics to the named table.
+// SetStats attaches merged global statistics to the named table. The
+// entry is replaced copy-on-write: concurrent compilations that already
+// resolved the table keep reading the statistics they started with, and
+// the epoch bump invalidates any plan cached against them.
 func (s *Shell) SetStats(table string, st *stats.Table) error {
-	t := s.Table(table)
-	if t == nil {
+	key := strings.ToLower(table)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[key]
+	if !ok {
 		return fmt.Errorf("catalog: unknown table %q", table)
 	}
-	t.Stats = st
+	nt := *t
+	nt.Stats = st
+	s.tables[key] = &nt
 	s.epoch.Add(1)
 	return nil
 }

@@ -111,8 +111,14 @@ func TestStatsAttachment(t *testing.T) {
 	if err := s.SetStats("orders", st); err != nil {
 		t.Fatal(err)
 	}
-	if tbl.RowCount() != 2 {
+	if s.Table("orders").RowCount() != 2 {
 		t.Error("rowcount from stats")
+	}
+	// The refresh is copy-on-write: a *Table resolved before SetStats is a
+	// stable snapshot, so compilations in flight during a statistics
+	// refresh keep reading the metadata they started with.
+	if tbl.RowCount() != 0 {
+		t.Error("previously resolved table must keep its stats snapshot")
 	}
 	if err := s.SetStats("missing", st); err == nil {
 		t.Error("unknown table must error")

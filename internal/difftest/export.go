@@ -1,0 +1,23 @@
+package difftest
+
+import "pdwqo"
+
+// The helpers below are the exported face of this package's comparison
+// machinery for sibling certification suites (internal/difftest/serverdiff)
+// that live in their own directory so each corpus sweep gets its own test
+// binary — and therefore its own -timeout budget — instead of stacking
+// onto this package's already-long run.
+
+// CanonRow renders a result row in the canonical form every differential
+// comparison in this package uses: each value's String() joined with "|".
+func CanonRow(row pdwqo.Row) string { return canonRow(row) }
+
+// DiffResults asserts exact row-for-row equality between two library
+// results, exactly as the in-package sweeps do.
+func DiffResults(name string, par int, s, p *pdwqo.Result) error {
+	return diffResults(name, par, s, p)
+}
+
+// LeakedTables scans every node for temp or staging tables; after any
+// execution — successful, failed or retried — there must be none.
+func LeakedTables(db *pdwqo.DB) []string { return leakedTables(db) }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package serverdiff
+
+const raceEnabled = false

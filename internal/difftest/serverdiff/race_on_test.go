@@ -1,0 +1,9 @@
+//go:build race
+
+package serverdiff
+
+// raceEnabled trims the corpus sweep when the race detector multiplies
+// every execution ~4×: one topology instead of four (still all 22
+// queries) and fewer chaos seeds. The full-size sweep runs in the plain
+// test lane.
+const raceEnabled = true

@@ -1,0 +1,113 @@
+// Package serverdiff certifies the query server's wire path against the
+// library path: the same appliance, the same corpus, byte-identical
+// results. It lives in its own directory (rather than in
+// internal/difftest proper) so the wire sweep compiles into its own test
+// binary with its own -timeout budget; the comparison machinery is shared
+// through internal/difftest's exported helpers.
+package serverdiff
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"pdwqo"
+	"pdwqo/internal/difftest"
+	"pdwqo/internal/server"
+)
+
+// ServerDiff certifies the wire path for one case: the query is executed
+// through an open client connection (session → admission → shared plan
+// cache → engine → result frames) and through the library path on the
+// same appliance, and the two result relations must match byte-for-byte —
+// same column names, same rows, same order, same rendered values. The
+// server streams rows as strings, so the comparison is against the same
+// canonical rendering the library sweeps use.
+func ServerDiff(db *pdwqo.DB, c *server.Client, cs difftest.Case) error {
+	wire, err := c.Query(context.Background(), cs.SQL)
+	if err != nil {
+		return fmt.Errorf("%s: wire execute: %w", cs.Name, err)
+	}
+	plan, err := db.Optimize(cs.SQL, pdwqo.Options{})
+	if err != nil {
+		return fmt.Errorf("%s: library optimize: %w", cs.Name, err)
+	}
+	ref, err := db.ExecutePlan(plan)
+	if err != nil {
+		return fmt.Errorf("%s: library execute: %w", cs.Name, err)
+	}
+	return diffWire(cs.Name, wire, ref)
+}
+
+// ServerChaos is the wire-path analogue of difftest's Chaos: execute the
+// case over the connection while the appliance runs a seeded random fault
+// plan with retries. If the retries absorb every fault the wire result
+// must be byte-identical to the fault-free library reference; if they
+// don't, the client must observe a typed execution error — never a
+// protocol wedge or a dead session. Either way no temp or staging table
+// may leak. The appliance's fault plan and retry policy are restored
+// before returning.
+func ServerChaos(db *pdwqo.DB, c *server.Client, cs difftest.Case, seed int64, maxRetries int) error {
+	// Fault-free reference first.
+	plan, err := db.Optimize(cs.SQL, pdwqo.Options{})
+	if err != nil {
+		return fmt.Errorf("%s: optimize: %w", cs.Name, err)
+	}
+	ref, err := db.ExecutePlan(plan)
+	if err != nil {
+		return fmt.Errorf("%s: fault-free reference execute: %w", cs.Name, err)
+	}
+
+	a := db.Appliance()
+	prevBackoff := a.RetryBackoff
+	db.SetFaultPlan(pdwqo.RandomFaultPlan(seed, len(plan.DSQL.Steps), a.Shell.Topology.ComputeNodes))
+	db.SetResilience(maxRetries, 0)
+	a.RetryBackoff = 50 * time.Microsecond
+
+	wire, werr := c.Query(context.Background(), cs.SQL)
+
+	db.SetFaultPlan(nil)
+	db.SetResilience(0, 0)
+	a.RetryBackoff = prevBackoff
+
+	if leaks := difftest.LeakedTables(db); len(leaks) > 0 {
+		return fmt.Errorf("%s: leaked tables after wire chaos run (seed %d): %v", cs.Name, seed, leaks)
+	}
+	if werr != nil {
+		var se *server.Error
+		if !errors.As(werr, &se) || se.Code != server.CodeExec {
+			return fmt.Errorf("%s: chaos failure (seed %d) is not a typed exec error: %w", cs.Name, seed, werr)
+		}
+		// The session must survive a failed query: re-run fault-free over
+		// the same connection and match the reference.
+		wire, err = c.Query(context.Background(), cs.SQL)
+		if err != nil {
+			return fmt.Errorf("%s: session dead after chaos failure (seed %d): %w", cs.Name, seed, err)
+		}
+	}
+	if derr := diffWire(cs.Name, wire, ref); derr != nil {
+		return fmt.Errorf("chaos (seed %d, retries %d): %w", seed, maxRetries, derr)
+	}
+	return nil
+}
+
+// diffWire asserts the streamed wire result matches a library result
+// exactly, comparing the same canonical per-row rendering the library
+// sweeps use.
+func diffWire(name string, wire *server.Result, ref *pdwqo.Result) error {
+	if wc, rc := strings.Join(wire.Columns, "|"), strings.Join(ref.Columns, "|"); wc != rc {
+		return fmt.Errorf("%s: columns diverged: wire %q, library %q", name, wc, rc)
+	}
+	if len(wire.Rows) != len(ref.Rows) {
+		return fmt.Errorf("%s: row count diverged: wire %d, library %d", name, len(wire.Rows), len(ref.Rows))
+	}
+	for i := range ref.Rows {
+		w, r := strings.Join(wire.Rows[i], "|"), difftest.CanonRow(ref.Rows[i])
+		if w != r {
+			return fmt.Errorf("%s: row %d diverged:\n  wire:    %s\n  library: %s", name, i, w, r)
+		}
+	}
+	return nil
+}

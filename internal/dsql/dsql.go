@@ -156,6 +156,42 @@ func (p *Plan) Bind(texts []string) *Plan {
 	return &out
 }
 
+// Isolate returns a copy of the plan whose temp-table names carry a
+// per-execution suffix ("TEMP_ID_1" → "TEMP_ID_1_X42"). Generator-assigned
+// temp names restart at 1 for every plan, so two plans — or two executions
+// of one cached plan — running concurrently on the same appliance would
+// otherwise collide on the nodes' local storage. The engine isolates every
+// execution with a fresh ID; plans with no move steps create no temp
+// tables and are returned unchanged. Replacement happens on the
+// bracket-quoted form ("[TEMP_ID_1]"), so a name can never rewrite a
+// longer name it prefixes.
+func (p *Plan) Isolate(id uint64) *Plan {
+	var pairs []string
+	for _, s := range p.Steps {
+		if s.Kind == StepMove {
+			pairs = append(pairs, "["+s.Dest+"]", "["+isolatedName(s.Dest, id)+"]")
+		}
+	}
+	if len(pairs) == 0 {
+		return p
+	}
+	r := strings.NewReplacer(pairs...)
+	out := *p
+	out.Steps = make([]Step, len(p.Steps))
+	for i, s := range p.Steps {
+		s.SQL = r.Replace(s.SQL)
+		if s.Kind == StepMove {
+			s.Dest = isolatedName(s.Dest, id)
+		}
+		out.Steps[i] = s
+	}
+	return &out
+}
+
+func isolatedName(dest string, id uint64) string {
+	return fmt.Sprintf("%s_X%d", dest, id)
+}
+
 // Generate converts an optimized plan into DSQL steps.
 func Generate(plan *core.Plan, finalCols []algebra.ColumnMeta) (*Plan, error) {
 	g := &generator{

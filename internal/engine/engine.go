@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdwqo/internal/algebra"
@@ -204,6 +205,11 @@ type Appliance struct {
 	// sleep waits between retry attempts; tests swap in a fake clock so
 	// backoff arithmetic is assertable without real time passing.
 	sleep func(ctx context.Context, d time.Duration) error
+
+	// execSeq numbers executions; each run rewrites its plan's temp-table
+	// names with the ID (dsql.Plan.Isolate) so concurrent executions on
+	// one appliance never collide on the nodes' local storage.
+	execSeq atomic.Uint64
 }
 
 // Backoff bounds: the first retry waits RetryBackoff (or defaultBackoff),
@@ -310,7 +316,13 @@ func (a *Appliance) Execute(p *dsql.Plan) (*Result, error) {
 // ExecuteContext is Execute with caller-controlled cancellation: a failing
 // node cancels the step's remaining node tasks, and an external cancel
 // stops between-node work as soon as the running tasks notice.
+//
+// Executions are isolated from each other and may run concurrently on one
+// appliance: each run works against a private copy of the plan whose temp
+// tables carry a unique per-execution suffix, so a long-lived server can
+// dispatch many sessions' plans at once.
 func (a *Appliance) ExecuteContext(ctx context.Context, p *dsql.Plan) (*Result, error) {
+	p = p.Isolate(a.execSeq.Add(1))
 	// Session catalog: shell tables plus temp tables registered as steps
 	// create them.
 	session := catalog.NewShell(a.Shell.Topology.ComputeNodes)

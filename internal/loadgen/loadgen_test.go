@@ -1,0 +1,135 @@
+package loadgen
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"pdwqo"
+	"pdwqo/internal/server"
+)
+
+// TestDefaultMixRuns drives a short load against an in-process server and
+// asserts every DefaultMix shape parameterizes, compiles, and executes
+// cleanly on both the ad-hoc and prepared paths, and that the report's
+// accounting adds up.
+func TestDefaultMixRuns(t *testing.T) {
+	db, err := pdwqo.OpenTPCH(0.001, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetPlanCache(256)
+	srv := server.New(db, server.Config{MaxConcurrent: 4, MaxQueue: 64})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	// Enough queries per session that the rng visits every shape with
+	// overwhelming probability, half prepared and half ad-hoc.
+	rep, err := Run(context.Background(), Config{
+		Addr:              addr.String(),
+		Sessions:          4,
+		QueriesPerSession: 40,
+		PreparedFraction:  0.5,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DialFails != 0 {
+		t.Fatalf("dial failures: %d", rep.DialFails)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load errors: %d by code %v", rep.Errors, rep.ByCode)
+	}
+	if want := uint64(4 * 40); rep.Queries != want {
+		t.Fatalf("queries = %d, want %d", rep.Queries, want)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v max=%v", rep.P50, rep.P99, rep.Max)
+	}
+	if rep.Throughput() <= 0 {
+		t.Fatalf("throughput = %v", rep.Throughput())
+	}
+	// With constant rotation over a small template set the cache must be
+	// nearly all hits after the first few compilations.
+	if hr := rep.HitRate(); hr < 0.5 {
+		t.Fatalf("cache hit rate %.2f, want >= 0.5 (by status %v)", hr, rep.ByStatus)
+	}
+	var statusTotal uint64
+	for _, n := range rep.ByStatus {
+		statusTotal += n
+	}
+	if statusTotal != rep.Queries-rep.Errors {
+		t.Fatalf("status counts %d != successful queries %d", statusTotal, rep.Queries-rep.Errors)
+	}
+	out := rep.String()
+	for _, want := range []string{"sessions=4", "queries=160", "cache-hit-rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report %q missing %q", out, want)
+		}
+	}
+}
+
+// TestRunValidation covers the config error paths.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Sessions: 0, QueriesPerSession: 1}); err == nil {
+		t.Fatal("expected error for zero sessions")
+	}
+	if _, err := Run(context.Background(), Config{Sessions: 1}); err == nil {
+		t.Fatal("expected error when neither QueriesPerSession nor Duration is set")
+	}
+	if _, err := Run(context.Background(), Config{
+		Sessions: 1, QueriesPerSession: 1, Mix: []string{"SELECT 'unterminated"},
+	}); err == nil {
+		t.Fatal("expected error for unparameterizable mix entry")
+	}
+}
+
+// TestDurationRun exercises the wall-clock mode: sessions issue queries
+// until the deadline instead of a fixed count.
+func TestDurationRun(t *testing.T) {
+	db, err := pdwqo.OpenTPCH(0.001, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetPlanCache(256)
+	srv := server.New(db, server.Config{MaxConcurrent: 2, MaxQueue: 16})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	rep, err := Run(context.Background(), Config{
+		Addr:     addr.String(),
+		Sessions: 2,
+		Duration: 300 * time.Millisecond,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DialFails != 0 || rep.Errors != 0 {
+		t.Fatalf("dialFails=%d errors=%d (%v)", rep.DialFails, rep.Errors, rep.ByCode)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("duration run issued no queries")
+	}
+}
+
+// TestDialFailure reports unreachable servers instead of hanging.
+func TestDialFailure(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		Addr: "127.0.0.1:1", Sessions: 2, QueriesPerSession: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DialFails != 2 {
+		t.Fatalf("dialFails = %d, want 2", rep.DialFails)
+	}
+}

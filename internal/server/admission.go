@@ -1,0 +1,105 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the control node's concurrency gate. PDW runs a fixed-size
+// pool of concurrent DSQL executions; everything beyond it waits in a
+// bounded queue and everything beyond *that* is shed immediately with a
+// typed rejection, so an overload burst degrades into fast failures
+// instead of a pileup of stuck sessions.
+//
+// It is a two-stage channel semaphore: tickets bounds running+waiting
+// (queue admission), slots bounds running (execution admission). Both are
+// buffered channels used as counting semaphores, so acquisition composes
+// with context cancellation and the queue timeout in one select.
+type admission struct {
+	slots   chan struct{} // cap = max concurrent executions
+	tickets chan struct{} // cap = concurrent + max queued
+	timeout time.Duration // max wait for a slot; 0 waits indefinitely
+
+	admitted        atomic.Uint64
+	rejectedFull    atomic.Uint64
+	rejectedTimeout atomic.Uint64
+	abandoned       atomic.Uint64 // waits ended by caller cancellation
+}
+
+func newAdmission(concurrent, queue int, timeout time.Duration) *admission {
+	return &admission{
+		slots:   make(chan struct{}, concurrent),
+		tickets: make(chan struct{}, concurrent+queue),
+		timeout: timeout,
+	}
+}
+
+// acquire claims an execution slot, waiting in the admission queue up to
+// the configured timeout. It returns a release function exactly when err
+// is nil. Typed failures: CodeQueueFull when the wait queue is already at
+// capacity, CodeQueueTimeout when the wait expires; a context
+// cancellation during the wait returns ctx.Err() for the caller to map
+// onto its own cancel/shutdown code.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.tickets <- struct{}{}:
+	default:
+		a.rejectedFull.Add(1)
+		return nil, errf(CodeQueueFull, "admission queue at capacity (%d running, %d waiting)",
+			cap(a.slots), cap(a.tickets)-cap(a.slots))
+	}
+	var expire <-chan time.Time
+	if a.timeout > 0 {
+		t := time.NewTimer(a.timeout)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return func() { <-a.slots; <-a.tickets }, nil
+	case <-expire:
+		<-a.tickets
+		a.rejectedTimeout.Add(1)
+		return nil, errf(CodeQueueTimeout, "no execution slot freed within %v", a.timeout)
+	case <-ctx.Done():
+		<-a.tickets
+		a.abandoned.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// AdmissionStats is a point-in-time snapshot of the gate's counters.
+type AdmissionStats struct {
+	// Admitted counts queries that got an execution slot.
+	Admitted uint64
+	// RejectedFull counts queries shed because the queue was at capacity.
+	RejectedFull uint64
+	// RejectedTimeout counts queries whose queue wait expired.
+	RejectedTimeout uint64
+	// Abandoned counts queue waits ended by cancellation or shutdown.
+	Abandoned uint64
+	// Running is the current number of occupied execution slots.
+	Running int
+	// Waiting is the current admission-queue depth.
+	Waiting int
+}
+
+func (a *admission) stats() AdmissionStats {
+	running := len(a.slots)
+	inGate := len(a.tickets)
+	waiting := inGate - running
+	if waiting < 0 {
+		// The two channel reads are not atomic together; clamp the skew.
+		waiting = 0
+	}
+	return AdmissionStats{
+		Admitted:        a.admitted.Load(),
+		RejectedFull:    a.rejectedFull.Load(),
+		RejectedTimeout: a.rejectedTimeout.Load(),
+		Abandoned:       a.abandoned.Load(),
+		Running:         running,
+		Waiting:         waiting,
+	}
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestAdmissionGrantsUpToCapacity(t *testing.T) {
+	a := newAdmission(2, 2, 0)
+	r1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.stats()
+	if st.Running != 2 || st.Admitted != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	r1()
+	r2()
+	if st := a.stats(); st.Running != 0 || st.Waiting != 0 {
+		t.Errorf("after release: %+v", st)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(1, 1, 0)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the one queue position with a waiter.
+	waiting := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		r, err := a.acquire(ctx)
+		if err == nil {
+			r()
+		}
+		waiting <- err
+	}()
+	// Wait until the waiter holds the queue ticket.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.stats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The next arrival is shed immediately with the typed rejection.
+	if _, err := a.acquire(context.Background()); CodeOf(err) != CodeQueueFull {
+		t.Fatalf("want CodeQueueFull, got %v", err)
+	}
+	if a.stats().RejectedFull != 1 {
+		t.Error("rejectedFull counter")
+	}
+	release()
+	if err := <-waiting; err != nil {
+		t.Fatalf("queued waiter must be admitted after release: %v", err)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := newAdmission(1, 4, 20*time.Millisecond)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	if _, err := a.acquire(context.Background()); CodeOf(err) != CodeQueueTimeout {
+		t.Fatalf("want CodeQueueTimeout, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("timeout took far longer than configured")
+	}
+	st := a.stats()
+	if st.RejectedTimeout != 1 {
+		t.Errorf("rejectedTimeout = %d", st.RejectedTimeout)
+	}
+	if st.Waiting != 0 {
+		t.Error("timed-out waiter must release its queue ticket")
+	}
+}
+
+func TestAdmissionCancelledWait(t *testing.T) {
+	a := newAdmission(1, 4, 0)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.acquire(ctx); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	st := a.stats()
+	if st.Abandoned != 1 {
+		t.Errorf("abandoned = %d", st.Abandoned)
+	}
+	if st.Waiting != 0 {
+		t.Error("cancelled waiter must release its queue ticket")
+	}
+}
+
+// TestServerQueueFullRejection drives the typed shed path end to end:
+// with one slot held and a zero-length queue, the next wire query is
+// rejected CodeQueueFull and the session stays usable.
+func TestServerQueueFullRejection(t *testing.T) {
+	release := make(chan struct{})
+	blocked := make(chan struct{}, 1)
+	cfg := Config{
+		MaxConcurrent: 1,
+		MaxQueue:      1,
+		PhaseHook: func(ph Phase, _ string) {
+			if ph == PhaseCompiling {
+				select {
+				case blocked <- struct{}{}:
+					<-release
+				default:
+				}
+			}
+		},
+	}
+	srv, addr := startServer(t, sharedDB(t), cfg)
+	hold, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+	holdDone := make(chan error, 1)
+	go func() {
+		_, err := hold.Query(context.Background(), "SELECT r_name FROM region ORDER BY r_name")
+		holdDone <- err
+	}()
+	<-blocked // the slot is now occupied mid-compile
+
+	// Fill the queue with a second session's waiter.
+	waiterErr := make(chan error, 1)
+	waiter, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer waiter.Close()
+	go func() {
+		_, err := waiter.Query(context.Background(), "SELECT r_name FROM region ORDER BY r_name")
+		waiterErr <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().Admission.Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A third session is shed instantly with the typed rejection.
+	shed, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shed.Close()
+	if _, err := shed.Query(context.Background(), "SELECT r_name FROM region"); CodeOf(err) != CodeQueueFull {
+		t.Fatalf("want CodeQueueFull, got %v", err)
+	}
+	// The shed session survives the rejection.
+	close(release)
+	if err := <-holdDone; err != nil {
+		t.Fatalf("held query: %v", err)
+	}
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("queued query: %v", err)
+	}
+	if _, err := shed.Query(context.Background(), "SELECT r_name FROM region ORDER BY r_name"); err != nil {
+		t.Fatalf("shed session unusable: %v", err)
+	}
+	if srv.Stats().Admission.RejectedFull == 0 {
+		t.Error("rejection not counted")
+	}
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"pdwqo/internal/normalize"
+)
+
+// Result is a query result as decoded off the wire. Values arrive as
+// their canonical string renderings (types.Value.String), which is the
+// same form the difftest harness canonicalizes library results into —
+// so a wire result and a library result compare byte for byte.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	// CacheStatus is the server-side plan cache outcome for this query
+	// ("hit", "miss", "shared", or "" without a cache).
+	CacheStatus string
+	// Epoch is the catalog epoch the plan was current under.
+	Epoch uint64
+}
+
+// Client is one session against a Server. It is safe for one goroutine;
+// a session runs one query at a time by protocol, so share a pool of
+// clients, not one client, across goroutines.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	// wmu serializes frame writes: a context watcher goroutine may inject
+	// a Cancel frame while the request that started it is already on the
+	// wire, and must not interleave with a later request's bytes.
+	wmu sync.Mutex
+
+	sessionID uint64
+	epoch     uint64
+}
+
+// Dial connects to a server at addr and performs the handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient performs the handshake over an established connection (any
+// net.Conn, including a net.Pipe end). On handshake failure the
+// connection is closed.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn, br: bufio.NewReader(conn)}
+	var e enc
+	e.str(Magic)
+	e.u16(Version)
+	if err := c.send(OpHello, e.b); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	op, p, err := ReadFrame(c.br)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if op == OpError {
+		conn.Close()
+		return nil, decodeError(p)
+	}
+	if op != OpHelloAck {
+		conn.Close()
+		return nil, errf(CodeProtocol, "expected HelloAck, got %s", op)
+	}
+	d := &dec{b: p}
+	ver := d.u16()
+	c.sessionID = d.u64()
+	c.epoch = d.u64()
+	if derr := d.done(); derr != nil {
+		conn.Close()
+		return nil, derr
+	}
+	if ver != Version {
+		conn.Close()
+		return nil, errf(CodeHandshake, "server speaks version %d, want %d", ver, Version)
+	}
+	return c, nil
+}
+
+// SessionID is the server-assigned session identifier.
+func (c *Client) SessionID() uint64 { return c.sessionID }
+
+// Epoch is the catalog epoch snapshot taken at handshake.
+func (c *Client) Epoch() uint64 { return c.epoch }
+
+// Close says Bye and closes the connection.
+func (c *Client) Close() error {
+	c.send(OpBye, nil)
+	return c.conn.Close()
+}
+
+// Query runs one ad-hoc SQL query. Cancelling ctx sends a Cancel frame
+// and the call returns the server's typed CodeCancelled error.
+func (c *Client) Query(ctx context.Context, sql string) (*Result, error) {
+	var e enc
+	e.str(sql)
+	return c.roundTrip(ctx, OpQuery, e.b)
+}
+
+// Stmt is a prepared statement: a server-side parameterized template.
+type Stmt struct {
+	c     *Client
+	id    uint32
+	kinds []normalize.LitKind
+}
+
+// Prepare registers sql as a prepared statement on the session.
+func (c *Client) Prepare(sql string) (*Stmt, error) {
+	var e enc
+	e.str(sql)
+	if err := c.send(OpPrepare, e.b); err != nil {
+		return nil, err
+	}
+	op, p, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case OpError:
+		return nil, decodeError(p)
+	case OpPrepareAck:
+	default:
+		return nil, errf(CodeProtocol, "expected PrepareAck, got %s", op)
+	}
+	d := &dec{b: p}
+	st := &Stmt{c: c, id: d.u32()}
+	d.u64() // epoch snapshot; informational
+	n := int(d.u16())
+	for i := 0; i < n && d.err() == nil; i++ {
+		st.kinds = append(st.kinds, normalize.LitKind(d.u8()))
+	}
+	if derr := d.done(); derr != nil {
+		return nil, derr
+	}
+	return st, nil
+}
+
+// NumParams is how many literal slots the statement binds.
+func (s *Stmt) NumParams() int { return len(s.kinds) }
+
+// Exec runs the statement with args bound to its literal slots in order.
+// Accepted argument types per slot kind: int/int64 for integer slots,
+// float64 for float slots, string for string (and date) slots. A raw
+// string is also accepted for numeric slots and validated server-side.
+func (s *Stmt) Exec(ctx context.Context, args ...any) (*Result, error) {
+	if len(args) != len(s.kinds) {
+		return nil, errf(CodeBadParams, "statement wants %d arguments, got %d", len(s.kinds), len(args))
+	}
+	var e enc
+	e.u32(s.id)
+	e.u16(uint16(len(args)))
+	for i, a := range args {
+		text, err := argText(a)
+		if err != nil {
+			return nil, errf(CodeBadParams, "argument %d: %v", i, err)
+		}
+		e.u8(uint8(s.kinds[i]))
+		e.str(text)
+	}
+	return s.c.roundTrip(ctx, OpExecStmt, e.b)
+}
+
+// Close releases the statement server-side. It never blocks on a
+// response; close is fire-and-forget by protocol.
+func (s *Stmt) Close() error {
+	var e enc
+	e.u32(s.id)
+	return s.c.send(OpCloseStmt, e.b)
+}
+
+// argText renders one argument as the raw text the wire carries; the
+// server validates and renders it into a SQL literal.
+func argText(a any) (string, error) {
+	switch v := a.(type) {
+	case int:
+		return strconv.Itoa(v), nil
+	case int64:
+		return strconv.FormatInt(v, 10), nil
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64), nil
+	case string:
+		return v, nil
+	case time.Time:
+		return v.Format("2006-01-02"), nil
+	default:
+		return "", fmt.Errorf("unsupported argument type %T", a)
+	}
+}
+
+// roundTrip sends one query-like request and reads frames to its
+// terminal Done or Error. While reading, a watcher goroutine turns ctx
+// cancellation into a Cancel frame; the server then finishes the
+// exchange with a typed CodeCancelled error, keeping the session usable.
+func (c *Client) roundTrip(ctx context.Context, op Op, payload []byte) (*Result, error) {
+	if err := c.send(op, payload); err != nil {
+		return nil, err
+	}
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.send(OpCancel, nil)
+			case <-stop:
+			}
+		}()
+	}
+	res := &Result{}
+	sawHeader := false
+	for {
+		fop, p, err := ReadFrame(c.br)
+		if err != nil {
+			return nil, err
+		}
+		d := &dec{b: p}
+		switch fop {
+		case OpError:
+			return nil, decodeError(p)
+		case OpRowHeader:
+			n := int(d.u16())
+			for i := 0; i < n && d.err() == nil; i++ {
+				res.Columns = append(res.Columns, d.str())
+			}
+			if derr := d.done(); derr != nil {
+				return nil, derr
+			}
+			sawHeader = true
+		case OpRowBatch:
+			if !sawHeader {
+				return nil, errf(CodeProtocol, "RowBatch before RowHeader")
+			}
+			n := int(d.u16())
+			width := len(res.Columns)
+			for i := 0; i < n && d.err() == nil; i++ {
+				row := make([]string, width)
+				for j := 0; j < width && d.err() == nil; j++ {
+					row[j] = d.str()
+				}
+				res.Rows = append(res.Rows, row)
+			}
+			if derr := d.done(); derr != nil {
+				return nil, derr
+			}
+		case OpDone:
+			res.Epoch = d.u64()
+			nrows := d.u64()
+			res.CacheStatus = d.str()
+			if derr := d.done(); derr != nil {
+				return nil, derr
+			}
+			if !sawHeader || nrows != uint64(len(res.Rows)) {
+				return nil, errf(CodeProtocol, "Done reports %d rows, stream carried %d", nrows, len(res.Rows))
+			}
+			return res, nil
+		default:
+			return nil, errf(CodeProtocol, "unexpected %s frame in result stream", fop)
+		}
+	}
+}
+
+// send writes one frame under the write lock.
+func (c *Client) send(op Op, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteFrame(c.conn, op, payload)
+}
+
+// decodeError decodes an Error frame payload.
+func decodeError(p []byte) error {
+	d := &dec{b: p}
+	code := Code(d.u16())
+	msg := d.str()
+	if err := d.done(); err != nil {
+		return err
+	}
+	return &Error{Code: code, Msg: msg}
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corpusDir is where the checked-in wire fuzz seeds live, in the go
+// fuzzing corpus-file format.
+const corpusDir = "testdata/fuzz/FuzzWireDecode"
+
+// TestFuzzCorpusInSync asserts the checked-in seed corpus matches
+// fuzzSeeds(), so the CI fuzz smoke always runs the streams the suite
+// was designed around. Regenerate with REGEN_CORPUS=1 go test -run
+// TestFuzzCorpusInSync ./internal/server.
+func TestFuzzCorpusInSync(t *testing.T) {
+	if os.Getenv("REGEN_CORPUS") != "" {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		old, _ := filepath.Glob(filepath.Join(corpusDir, "seed-*"))
+		for _, f := range old {
+			os.Remove(f)
+		}
+		for i, seed := range fuzzSeeds() {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			name := filepath.Join(corpusDir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("regenerated %d corpus files", len(fuzzSeeds()))
+		return
+	}
+	for i, seed := range fuzzSeeds() {
+		name := filepath.Join(corpusDir, fmt.Sprintf("seed-%02d", i))
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("seed %d missing (run with REGEN_CORPUS=1 to regenerate): %v", i, err)
+		}
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if string(raw) != want {
+			t.Errorf("seed %d out of sync with fuzzSeeds()", i)
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package server
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedServer answers a client handshake with canned frames over a
+// net.Pipe, for driving the client's protocol-error paths without a real
+// server. Each entry is written verbatim after the Hello arrives.
+func scriptedServer(t *testing.T, ack bool, frames ...[2]any) net.Conn {
+	t.Helper()
+	cli, srv := net.Pipe()
+	go func() {
+		defer srv.Close()
+		if _, _, err := ReadFrame(srv); err != nil {
+			return
+		}
+		if ack {
+			var e enc
+			e.u16(Version)
+			e.u64(1)
+			e.u64(0)
+			if err := WriteFrame(srv, OpHelloAck, e.b); err != nil {
+				return
+			}
+			// The scripted exchange continues after the client's request.
+			if _, _, err := ReadFrame(srv); err != nil {
+				return
+			}
+		}
+		for _, f := range frames {
+			if err := WriteFrame(srv, f[0].(Op), f[1].([]byte)); err != nil {
+				return
+			}
+		}
+	}()
+	return cli
+}
+
+func TestClientHandshakeFailures(t *testing.T) {
+	t.Run("error-frame", func(t *testing.T) {
+		var e enc
+		e.u16(uint16(CodeHandshake))
+		e.str("go away")
+		_, err := NewClient(scriptedServer(t, false, [2]any{OpError, e.b}))
+		if CodeOf(err) != CodeHandshake {
+			t.Fatalf("err = %v, want handshake error", err)
+		}
+	})
+	t.Run("malformed-error-frame", func(t *testing.T) {
+		_, err := NewClient(scriptedServer(t, false, [2]any{OpError, []byte{0x01}}))
+		if CodeOf(err) != CodeProtocol {
+			t.Fatalf("err = %v, want protocol error", err)
+		}
+	})
+	t.Run("wrong-op", func(t *testing.T) {
+		_, err := NewClient(scriptedServer(t, false, [2]any{OpDone, []byte{}}))
+		if err == nil || !strings.Contains(err.Error(), "expected HelloAck") {
+			t.Fatalf("err = %v, want HelloAck complaint", err)
+		}
+	})
+	t.Run("malformed-ack", func(t *testing.T) {
+		_, err := NewClient(scriptedServer(t, false, [2]any{OpHelloAck, []byte{0x00}}))
+		if CodeOf(err) != CodeProtocol {
+			t.Fatalf("err = %v, want protocol error", err)
+		}
+	})
+	t.Run("version-mismatch", func(t *testing.T) {
+		var e enc
+		e.u16(Version + 9)
+		e.u64(1)
+		e.u64(0)
+		_, err := NewClient(scriptedServer(t, false, [2]any{OpHelloAck, e.b}))
+		if CodeOf(err) != CodeHandshake {
+			t.Fatalf("err = %v, want handshake error", err)
+		}
+	})
+	t.Run("closed-before-ack", func(t *testing.T) {
+		if _, err := NewClient(scriptedServer(t, false)); err == nil {
+			t.Fatal("expected error from closed connection")
+		}
+	})
+	t.Run("dial-refused", func(t *testing.T) {
+		if _, err := Dial("127.0.0.1:1"); err == nil {
+			t.Fatal("expected dial error")
+		}
+	})
+}
+
+// scriptedClient performs a real handshake against the scripted server
+// and returns the client for one request.
+func scriptedClient(t *testing.T, frames ...[2]any) *Client {
+	t.Helper()
+	c, err := NewClient(scriptedServer(t, true, frames...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientResultStreamErrors(t *testing.T) {
+	header := func(cols ...string) []byte {
+		var e enc
+		e.u16(uint16(len(cols)))
+		for _, c := range cols {
+			e.str(c)
+		}
+		return e.b
+	}
+	done := func(epoch, nrows uint64, status string) []byte {
+		var e enc
+		e.u64(epoch)
+		e.u64(nrows)
+		e.str(status)
+		return e.b
+	}
+	t.Run("batch-before-header", func(t *testing.T) {
+		var b enc
+		b.u16(0)
+		c := scriptedClient(t, [2]any{OpRowBatch, b.b})
+		if _, err := c.Query(context.Background(), "SELECT 1"); CodeOf(err) != CodeProtocol {
+			t.Fatalf("err = %v, want protocol error", err)
+		}
+	})
+	t.Run("row-count-mismatch", func(t *testing.T) {
+		c := scriptedClient(t, [2]any{OpRowHeader, header("a")}, [2]any{OpDone, done(0, 5, "hit")})
+		if _, err := c.Query(context.Background(), "SELECT 1"); CodeOf(err) != CodeProtocol {
+			t.Fatalf("err = %v, want protocol error", err)
+		}
+	})
+	t.Run("unexpected-frame", func(t *testing.T) {
+		c := scriptedClient(t, [2]any{OpPrepareAck, []byte{}})
+		if _, err := c.Query(context.Background(), "SELECT 1"); CodeOf(err) != CodeProtocol {
+			t.Fatalf("err = %v, want protocol error", err)
+		}
+	})
+	t.Run("malformed-header", func(t *testing.T) {
+		c := scriptedClient(t, [2]any{OpRowHeader, []byte{0xff}})
+		if _, err := c.Query(context.Background(), "SELECT 1"); CodeOf(err) != CodeProtocol {
+			t.Fatalf("err = %v, want protocol error", err)
+		}
+	})
+	t.Run("malformed-done", func(t *testing.T) {
+		c := scriptedClient(t, [2]any{OpRowHeader, header("a")}, [2]any{OpDone, []byte{0x01}})
+		if _, err := c.Query(context.Background(), "SELECT 1"); CodeOf(err) != CodeProtocol {
+			t.Fatalf("err = %v, want protocol error", err)
+		}
+	})
+	t.Run("malformed-batch", func(t *testing.T) {
+		c := scriptedClient(t, [2]any{OpRowHeader, header("a")}, [2]any{OpRowBatch, []byte{0x00, 0x01, 0xff}})
+		if _, err := c.Query(context.Background(), "SELECT 1"); CodeOf(err) != CodeProtocol {
+			t.Fatalf("err = %v, want protocol error", err)
+		}
+	})
+}
+
+func TestClientPrepareProtocolErrors(t *testing.T) {
+	t.Run("wrong-op", func(t *testing.T) {
+		c := scriptedClient(t, [2]any{OpDone, []byte{}})
+		if _, err := c.Prepare("SELECT 1"); err == nil || !strings.Contains(err.Error(), "expected PrepareAck") {
+			t.Fatalf("err = %v, want PrepareAck complaint", err)
+		}
+	})
+	t.Run("malformed-ack", func(t *testing.T) {
+		c := scriptedClient(t, [2]any{OpPrepareAck, []byte{0x01}})
+		if _, err := c.Prepare("SELECT 1"); CodeOf(err) != CodeProtocol {
+			t.Fatalf("err = %v, want protocol error", err)
+		}
+	})
+	t.Run("closed-before-ack", func(t *testing.T) {
+		c := scriptedClient(t)
+		if _, err := c.Prepare("SELECT 1"); err == nil {
+			t.Fatal("expected error from closed connection")
+		}
+	})
+}
+
+func TestArgText(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{42, "42"},
+		{int64(-7), "-7"},
+		{1.5, "1.5"},
+		{"hi", "hi"},
+		{time.Date(1995, 3, 15, 0, 0, 0, 0, time.UTC), "1995-03-15"},
+	}
+	for _, c := range cases {
+		got, err := argText(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("argText(%v) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+	if _, err := argText(struct{}{}); err == nil {
+		t.Error("argText(struct{}{}) succeeded, want error")
+	}
+}
+
+// TestQueryContextCancel cancels a high-level Client's context while its
+// query is executing; the watcher goroutine must convert that into a wire
+// Cancel and the call must return the server's typed error.
+func TestQueryContextCancel(t *testing.T) {
+	db := sharedDB(t)
+	var once sync.Once
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	_, addr := startServer(t, db, Config{
+		MaxConcurrent: 2,
+		PhaseHook: func(ph Phase, sql string) {
+			if ph == PhaseExecuting {
+				once.Do(func() {
+					entered <- struct{}{}
+					<-release
+				})
+			}
+		},
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, qerr := c.Query(ctx, "SELECT o_orderkey FROM orders ORDER BY o_orderkey")
+		errc <- qerr
+	}()
+	<-entered
+	cancel()
+	time.Sleep(50 * time.Millisecond) // let the Cancel frame land
+	close(release)
+	if qerr := <-errc; CodeOf(qerr) != CodeCancelled {
+		t.Fatalf("query error = %v, want cancelled", qerr)
+	}
+	// The session survives its cancelled query.
+	if _, err := c.Query(context.Background(), "SELECT r_name FROM region"); err != nil {
+		t.Fatalf("follow-up query: %v", err)
+	}
+}
+
+// TestMidQueryFrames drives the in-flight frame dispatch: Bye ends the
+// session mid-query, and a non-query op mid-query is a protocol error.
+func TestMidQueryFrames(t *testing.T) {
+	db := sharedDB(t)
+	newBlockedQuery := func(t *testing.T) (*rawSession, chan struct{}) {
+		var once sync.Once
+		entered := make(chan struct{}, 1)
+		release := make(chan struct{})
+		_, addr := startServer(t, db, Config{
+			MaxConcurrent: 2,
+			PhaseHook: func(ph Phase, sql string) {
+				if ph == PhaseExecuting {
+					once.Do(func() {
+						entered <- struct{}{}
+						<-release
+					})
+				}
+			},
+		})
+		r := dialRaw(t, addr)
+		r.send(OpQuery, queryPayload("SELECT r_name FROM region"))
+		<-entered
+		return r, release
+	}
+
+	t.Run("bye", func(t *testing.T) {
+		r, release := newBlockedQuery(t)
+		r.send(OpBye, nil)
+		time.Sleep(50 * time.Millisecond) // let the frame reach the session
+		close(release)
+		// The server reaps the worker and closes without a terminal frame.
+		if op, _, err := r.readToTerminal(); err == nil {
+			t.Fatalf("expected connection close, got %s frame", op)
+		}
+	})
+	t.Run("unexpected-op", func(t *testing.T) {
+		r, release := newBlockedQuery(t)
+		r.send(OpHello, helloPayload(Magic, Version))
+		time.Sleep(50 * time.Millisecond)
+		close(release) // the session answers only after reaping the worker
+		op, code, err := r.readToTerminal()
+		if err != nil || op != OpError || code != CodeProtocol {
+			t.Fatalf("terminal = %s/%s/%v, want protocol error", op, code, err)
+		}
+	})
+}
+
+// TestMidStreamFrames drives the between-batch poll in stream(): Bye ends
+// the session, any other client op is a protocol error.
+func TestMidStreamFrames(t *testing.T) {
+	db := sharedDB(t)
+	newStreaming := func(t *testing.T) (*rawSession, chan struct{}) {
+		var once sync.Once
+		entered := make(chan struct{}, 1)
+		release := make(chan struct{})
+		_, addr := startServer(t, db, Config{
+			MaxConcurrent: 2,
+			BatchRows:     4,
+			PhaseHook: func(ph Phase, sql string) {
+				if ph == PhaseStreaming {
+					once.Do(func() {
+						entered <- struct{}{}
+						<-release
+					})
+				}
+			},
+		})
+		r := dialRaw(t, addr)
+		r.send(OpQuery, queryPayload("SELECT o_orderkey FROM orders ORDER BY o_orderkey"))
+		<-entered
+		return r, release
+	}
+
+	t.Run("bye", func(t *testing.T) {
+		r, release := newStreaming(t)
+		r.send(OpBye, nil)
+		time.Sleep(50 * time.Millisecond) // land the frame before streaming resumes
+		close(release)
+		for {
+			if _, _, err := ReadFrame(r.conn); err != nil {
+				return // closed without a terminal frame, as Bye demands
+			}
+		}
+	})
+	t.Run("unexpected-op", func(t *testing.T) {
+		r, release := newStreaming(t)
+		r.send(OpPrepare, queryPayload("SELECT 1"))
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+		op, code, err := r.readToTerminal()
+		if err != nil || op != OpError || code != CodeProtocol {
+			t.Fatalf("terminal = %s/%s/%v, want protocol error", op, code, err)
+		}
+	})
+}
+
+// TestMalformedSessionPayloads sends structurally broken payloads on
+// otherwise-valid sessions; each must end the session with a typed
+// protocol error.
+func TestMalformedSessionPayloads(t *testing.T) {
+	db := sharedDB(t)
+	_, addr := startServer(t, db, Config{})
+	send := func(t *testing.T, op Op, payload []byte) (Op, Code) {
+		r := dialRaw(t, addr)
+		r.send(op, payload)
+		top, code, err := r.readToTerminal()
+		if err != nil {
+			t.Fatalf("read terminal: %v", err)
+		}
+		return top, code
+	}
+	t.Run("query-trailing-bytes", func(t *testing.T) {
+		p := append(queryPayload("SELECT r_name FROM region"), 0xde, 0xad)
+		if op, code := send(t, OpQuery, p); op != OpError || code != CodeProtocol {
+			t.Fatalf("got %s/%s, want protocol error", op, code)
+		}
+	})
+	t.Run("closestmt-short", func(t *testing.T) {
+		if op, code := send(t, OpCloseStmt, []byte{0x01}); op != OpError || code != CodeProtocol {
+			t.Fatalf("got %s/%s, want protocol error", op, code)
+		}
+	})
+	t.Run("prepare-trailing-bytes", func(t *testing.T) {
+		p := append(queryPayload("SELECT r_name FROM region"), 0x00)
+		if op, code := send(t, OpPrepare, p); op != OpError || code != CodeProtocol {
+			t.Fatalf("got %s/%s, want protocol error", op, code)
+		}
+	})
+	t.Run("execstmt-garbage", func(t *testing.T) {
+		if op, code := send(t, OpExecStmt, []byte{0x01, 0x02}); op != OpError || code != CodeProtocol {
+			t.Fatalf("got %s/%s, want protocol error", op, code)
+		}
+	})
+}
+
+// TestServeAfterShutdown covers the closed-server paths of Serve and
+// ServeConn: both must refuse new work after Shutdown.
+func TestServeAfterShutdown(t *testing.T) {
+	db := sharedDB(t)
+	srv := New(db, Config{})
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := srv.Serve(l); err == nil {
+		t.Fatal("Serve after Shutdown succeeded")
+	}
+
+	cli, other := net.Pipe()
+	defer cli.Close()
+	go srv.ServeConn(other)
+	// The server closes the pipe without serving a handshake.
+	WriteFrame(cli, OpHello, helloPayload(Magic, Version))
+	cli.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, _, err := ReadFrame(cli); err == nil {
+		t.Fatal("ServeConn after Shutdown served a frame")
+	}
+}
+
+// TestAdmissionStatsClamp covers the negative-waiting clamp: a release
+// drains the slot before the ticket, so a stats() call in that window
+// must not report negative waiters.
+func TestAdmissionStatsClamp(t *testing.T) {
+	a := newAdmission(2, 2, 0)
+	a.slots <- struct{}{} // slot held with no ticket: waiting would be -1
+	st := a.stats()
+	if st.Waiting != 0 {
+		t.Fatalf("Waiting = %d, want clamped 0", st.Waiting)
+	}
+	<-a.slots
+}
+
+// TestEnumStrings covers the unknown-value branches of the debug
+// stringers.
+func TestEnumStrings(t *testing.T) {
+	if s := Phase(99).String(); s != "unknown" {
+		t.Errorf("Phase(99) = %q", s)
+	}
+	if s := Op(0x55).String(); !strings.Contains(s, "55") {
+		t.Errorf("Op(0x55) = %q", s)
+	}
+	if s := Code(999).String(); !strings.Contains(s, "999") {
+		t.Errorf("Code(999) = %q", s)
+	}
+	for ph, want := range map[Phase]string{
+		PhaseQueued: "queued", PhaseCompiling: "compiling",
+		PhaseExecuting: "executing", PhaseStreaming: "streaming",
+	} {
+		if got := ph.String(); got != want {
+			t.Errorf("Phase %d = %q, want %q", ph, got, want)
+		}
+	}
+}

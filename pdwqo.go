@@ -16,6 +16,7 @@
 package pdwqo
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -627,6 +628,17 @@ func (r *Result) String() string {
 // non-zero opts.Parallelism also applies to the appliance (equivalent to
 // calling SetParallelism first).
 func (db *DB) Execute(sql string, opts Options) (*Result, error) {
+	return db.ExecuteContext(context.Background(), sql, opts)
+}
+
+// ExecuteContext is Execute with caller-controlled cancellation threaded
+// through per-step engine execution: cancelling ctx stops the in-flight
+// step's remaining node tasks and fails the run with a typed cancelled
+// StepError. Note that non-zero resilience/fault/tracer options mutate the
+// shared appliance exactly as Execute does; concurrent callers (the query
+// server) should configure the appliance once and pass zero-valued knobs,
+// or use Optimize + ExecutePlanContext directly.
+func (db *DB) ExecuteContext(ctx context.Context, sql string, opts Options) (*Result, error) {
 	plan, err := db.Optimize(sql, opts)
 	if err != nil {
 		return nil, err
@@ -643,12 +655,20 @@ func (db *DB) Execute(sql string, opts Options) (*Result, error) {
 	if opts.Tracer != nil {
 		db.SetTracer(opts.Tracer)
 	}
-	return db.ExecutePlan(plan)
+	return db.ExecutePlanContext(ctx, plan)
 }
 
 // ExecutePlan runs a previously optimized plan.
 func (db *DB) ExecutePlan(plan *QueryPlan) (*Result, error) {
-	res, err := db.appliance.Execute(plan.DSQL)
+	return db.ExecutePlanContext(context.Background(), plan)
+}
+
+// ExecutePlanContext runs a previously optimized plan under ctx.
+// Executions are isolated (each run rewrites its temp-table names with a
+// unique execution ID) and may proceed concurrently on one DB — this is
+// the entry point the query server dispatches sessions through.
+func (db *DB) ExecutePlanContext(ctx context.Context, plan *QueryPlan) (*Result, error) {
+	res, err := db.appliance.ExecuteContext(ctx, plan.DSQL)
 	if err != nil {
 		return nil, err
 	}
