@@ -70,6 +70,7 @@ func main() {
 		planCache = flag.Int("plan-cache", -1, "install a plan cache with this capacity (0 = default capacity, negative = off) and report its metrics")
 		noSplit   = flag.Bool("no-agg-split", false, "disable the partial/final aggregation split (ablation control arm)")
 		rowExec   = flag.Bool("row-exec", false, "use the row-at-a-time node executor instead of the vectorized one (ablation control arm)")
+		sbudget   = flag.Int("search-budget", 0, "cap on PDW enumeration options before the greedy join-order fallback kicks in (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -107,6 +108,7 @@ func main() {
 		opts.Mode = pdwqo.ModeSerialBaseline
 	}
 	opts.DisableAggSplit = *noSplit
+	opts.SearchBudget = *sbudget
 	var tracer *pdwqo.Tracer
 	if *traceOut != "" {
 		tracer = pdwqo.NewTracer()
@@ -148,6 +150,9 @@ func main() {
 		if err != nil {
 			dumpTrace(db, tracer, *traceOut)
 			fail(err)
+		}
+		if plan.Regime != "" {
+			fmt.Printf("-- search regime: %s\n", plan.Regime)
 		}
 		fmt.Printf("-- %d rows, DMS cost %.6g, moves %v\n", len(res.Rows), plan.Cost(), plan.Moves())
 		if cfg.faults != nil || cfg.retries > 0 {

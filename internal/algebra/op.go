@@ -231,7 +231,8 @@ type Tree struct {
 	Op       Operator
 	Children []*Tree
 
-	outputCols []ColumnMeta // lazily derived
+	outputCols   []ColumnMeta // lazily derived
+	outputColSet ColSet       // lazily derived; callers must not mutate
 }
 
 // NewTree builds a tree node, validating arity.
@@ -240,6 +241,19 @@ func NewTree(op Operator, children ...*Tree) *Tree {
 		panic(fmt.Sprintf("algebra: %s expects %d children, got %d", op.OpName(), op.Arity(), len(children)))
 	}
 	return &Tree{Op: op, Children: children}
+}
+
+// NewTreeSameSchema builds a tree node whose output schema is known to
+// equal `like`'s — the contract of filter-placement rewrites, which only
+// insert/remove Selects and fold conjuncts into join conditions. The
+// cached schema carries over, so passes that rebuild a root-to-leaf path
+// per conjunct (pushdown on a 100-relation join region) stay linear in
+// path length instead of recomputing every schema along it.
+func NewTreeSameSchema(like *Tree, op Operator, children ...*Tree) *Tree {
+	t := NewTree(op, children...)
+	t.outputCols = like.outputCols
+	t.outputColSet = like.outputColSet
+	return t
 }
 
 // OutputCols derives the operator's output schema from its children.
@@ -333,11 +347,20 @@ func OutputColsFromSchemas(op Operator, children [][]ColumnMeta) []ColumnMeta {
 }
 
 // OutputColSet returns the IDs of the tree's output columns.
+// OutputColSet returns the output schema as a column set. The set is
+// computed once and cached — normalization passes probe it on every
+// conjunct placement, which is quadratic in plan depth on the
+// 100-relation stress corpus — so callers must treat it as read-only
+// (clone before extending, as pruneColumns does).
 func (t *Tree) OutputColSet() ColSet {
+	if t.outputColSet != nil {
+		return t.outputColSet
+	}
 	s := NewColSet()
 	for _, c := range t.OutputCols() {
 		s.Add(c.ID)
 	}
+	t.outputColSet = s
 	return s
 }
 

@@ -1,0 +1,33 @@
+package core
+
+import "fmt"
+
+// BudgetError reports that PDW-side enumeration stopped because the
+// search budget (Config.SearchBudget) was exhausted. The budget is
+// checked only at wave barriers — between topological waves of the
+// bottom-up enumeration — so the trip point is deterministic and the
+// recorded counter is exact at any Parallelism setting: every option
+// created by completed waves is counted, and no wave is half-counted.
+//
+// Callers (pdwqo.DB.Optimize) treat a BudgetError as the signal to
+// switch regimes: re-plan the query with the greedy join-order heuristic
+// over a fixed memo instead of exhaustive enumeration.
+type BudgetError struct {
+	// Budget is the configured cap on options considered.
+	Budget int
+	// Considered is the exact number of options created by the waves
+	// that completed before the barrier tripped.
+	Considered int64
+	// Wave is the barrier index that tripped; Waves is the total number
+	// of topological waves the enumeration would have run.
+	Wave, Waves int
+	// Groups is the total number of memo groups under enumeration.
+	Groups int
+}
+
+// Error renders the exhaustion diagnostics.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf(
+		"core: search budget exhausted: %d options considered >= budget %d at wave %d/%d (%d groups)",
+		e.Considered, e.Budget, e.Wave, e.Waves, e.Groups)
+}

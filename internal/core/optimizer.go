@@ -45,6 +45,15 @@ type Config struct {
 	// enumerator. Pruning is per-group and fresh columns are minted from
 	// per-group ranges, so the chosen plan is identical at any setting.
 	Parallelism int
+	// SearchBudget caps the options considered during enumeration: when
+	// the counter has reached the budget at a wave barrier, Optimize
+	// fails with a *BudgetError instead of continuing — the caller's
+	// signal to fall back to the greedy join-order regime. The check
+	// happens only between waves, so the trip point (and the counter's
+	// final value) is deterministic and identical at any Parallelism.
+	// 0 disables the budget (exhaustive enumeration). A search that
+	// reaches the last barrier finishes even if the final wave overshoots.
+	SearchBudget int
 	// Tracer, when non-nil, records phase/wave/group spans and the
 	// optimize.* counters; TraceParent parents them under the caller's
 	// span. A nil Tracer costs nothing.
@@ -155,22 +164,36 @@ func (o *Optimizer) Optimize() (*Plan, error) {
 // enumerate runs steps 05–07 over every group bottom-up. With parallelism,
 // independent groups of one topological wave enumerate concurrently: a
 // group only reads its children's finished opts, so each wave barrier is
-// the only synchronization needed.
+// the only synchronization needed. The serial path iterates the same
+// waves (group results are independent within a wave, so plans are
+// unchanged), which makes the search-budget trip point identical at any
+// Parallelism: the budget is tested only at wave barriers, where every
+// worker's atomic counter updates are visible.
 func (o *Optimizer) enumerate(parent trace.SpanID) error {
 	tr := o.config.Tracer
 	par := o.config.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par == 1 {
-		for _, gid := range o.order {
-			if err := o.enumerateGroup(o.groups[gid], parent); err != nil {
-				return err
+	waves := o.waves()
+	for i, wave := range waves {
+		if b := o.config.SearchBudget; b > 0 && i > 0 {
+			if n := atomic.LoadInt64(&o.considered); n >= int64(b) {
+				tr.Counters().Add("optimize.budget_exhausted", 1)
+				return &BudgetError{
+					Budget: b, Considered: n,
+					Wave: i, Waves: len(waves), Groups: len(o.order),
+				}
 			}
 		}
-		return nil
-	}
-	for i, wave := range o.waves() {
+		if par == 1 {
+			for _, gid := range wave {
+				if err := o.enumerateGroup(o.groups[gid], parent); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		wsp := tr.BeginUnder(parent, "wave")
 		wsp.Int("wave", int64(i))
 		wsp.Int("groups", int64(len(wave)))

@@ -202,6 +202,33 @@ func QError(pred, act float64) float64 {
 // the unbounded ones are counted separately. NaN inputs (malformed
 // estimates) also count as unbounded. With no finite factor the mean is
 // +Inf when anything was unbounded, and 1 for empty input.
+// PlanCostRatio compares two modeled plan costs as a ratio, smoothed by
+// one cost unit on each side so that zero-cost plans (fully collocated —
+// no DMS at all) stay finite and a zero/zero pair reads as a perfect 1.
+// The large-join harness uses it for greedy-vs-exhaustive frontiers:
+// ratio ≥ 1 means the greedy plan is that factor more expensive.
+func PlanCostRatio(got, baseline float64) float64 {
+	return (got + 1) / (baseline + 1)
+}
+
+// RatioSummary reduces a set of plan-cost ratios to the geometric mean
+// and the worst case — the two numbers the E22 frontier and the
+// difftest plan-quality gate report. Empty input summarizes as 1/1.
+func RatioSummary(xs []float64) (geo, worst float64) {
+	if len(xs) == 0 {
+		return 1, 1
+	}
+	sum := 0.0
+	worst = xs[0]
+	for _, x := range xs {
+		sum += math.Log(x)
+		if x > worst {
+			worst = x
+		}
+	}
+	return math.Exp(sum / float64(len(xs))), worst
+}
+
 func QErrorSummary(xs []float64) (geo float64, unbounded int) {
 	sum, n := 0.0, 0
 	for _, x := range xs {

@@ -1,0 +1,255 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pdwqo"
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/core"
+	"pdwqo/internal/cost"
+	"pdwqo/internal/dsql"
+	"pdwqo/internal/planverify"
+	"pdwqo/internal/qgen"
+)
+
+// genQuery materializes one corpus spec, failing the test on any
+// generator error so sweeps stay terse.
+func genQuery(t *testing.T, spec qgen.Spec) *qgen.Query {
+	t.Helper()
+	q, err := qgen.Generate(spec)
+	if err != nil {
+		t.Fatalf("%s: generate: %v", spec.Name(), err)
+	}
+	return q
+}
+
+func openQGen(t *testing.T, q *qgen.Query) *pdwqo.DB {
+	t.Helper()
+	db, err := OpenQGen(q)
+	if err != nil {
+		t.Fatalf("%s: open: %v", q.Name, err)
+	}
+	return db
+}
+
+// TestLargeJoinGreedyVsExhaustive is the metamorphic certification of
+// the greedy regime: over every small-corpus query (where exhaustive
+// search is feasible) the forced-greedy plan must return byte-identical
+// results, and the plan-cost penalty must stay within the 2.0x geomean
+// gate the issue sets.
+func TestLargeJoinGreedyVsExhaustive(t *testing.T) {
+	specs := qgen.SmallCorpus()
+	pars := []int{1, 4}
+	if testing.Short() {
+		pars = []int{4}
+	}
+	var ratios []float64
+	for _, spec := range specs {
+		q := genQuery(t, spec)
+		db := openQGen(t, q)
+		for _, par := range pars {
+			ratio, err := LargeJoinDiff(db, q, par)
+			if err != nil {
+				t.Errorf("par=%d: %v", par, err)
+				continue
+			}
+			if par == pars[0] {
+				ratios = append(ratios, ratio)
+				t.Logf("%s: plan-cost ratio %.3f", q.Name, ratio)
+			}
+		}
+	}
+	if t.Failed() {
+		return
+	}
+	geo, worst := cost.RatioSummary(ratios)
+	t.Logf("greedy/exhaustive plan-cost ratio over %d queries: geomean %.3f, worst %.3f", len(ratios), geo, worst)
+	if geo > 2.0 {
+		t.Errorf("greedy plan-cost geomean %.3f exceeds the 2.0x gate (worst %.3f)", geo, worst)
+	}
+}
+
+// TestLargeJoinStressOptimize drives the large corpus — up to the
+// 100-relation clique — through a budgeted optimize with the static
+// verifier on. Every query must compile planverify-green; whichever
+// regime the budget picks, greedy plans must also satisfy the
+// structural guarantees (each relation scanned once, no cross joins).
+func TestLargeJoinStressOptimize(t *testing.T) {
+	specs := qgen.LargeCorpus()
+	if testing.Short() {
+		var trimmed []qgen.Spec
+		for _, s := range specs {
+			if s.Relations <= 24 || (s.Topology == qgen.Clique && s.Relations == 100) {
+				trimmed = append(trimmed, s)
+			}
+		}
+		specs = trimmed
+	}
+	for _, spec := range specs {
+		q := genQuery(t, spec)
+		db := openQGen(t, q)
+		start := time.Now()
+		qp, err := db.Optimize(q.SQL, pdwqo.Options{SearchBudget: 20000, Verify: true})
+		if err != nil {
+			t.Errorf("%s: optimize: %v", q.Name, err)
+			continue
+		}
+		elapsed := time.Since(start)
+		t.Logf("%s: regime=%-10s cost=%12.1f in %s", q.Name, qp.Regime, qp.Cost(), elapsed.Round(time.Millisecond))
+		if qp.Regime != "greedy" && qp.Regime != "exhaustive" {
+			t.Errorf("%s: budgeted optimize reported regime %q", q.Name, qp.Regime)
+		}
+		if qp.Regime == "greedy" {
+			if err := GreedyPlanShape(q, qp); err != nil {
+				t.Error(err)
+			}
+		}
+		// The issue's acceptance bound is <5s for the 100-relation clique;
+		// the race detector inflates wall time severalfold, so the test
+		// enforces a slack bound and the tight one is recorded in
+		// EXPERIMENTS.md E22 from an instrumented run.
+		if spec.Relations == 100 && elapsed > 30*time.Second {
+			t.Errorf("%s: optimize took %s, want well under 30s", q.Name, elapsed)
+		}
+	}
+}
+
+// greedyPlan compiles one generated query under a forced greedy
+// fallback on a private appliance, so mutations cannot poison shared
+// state.
+func greedyPlan(t *testing.T, spec qgen.Spec) (*qgen.Query, *pdwqo.QueryPlan, *pdwqo.DB) {
+	t.Helper()
+	q := genQuery(t, spec)
+	db := openQGen(t, q)
+	qp, err := db.Optimize(q.SQL, pdwqo.Options{SearchBudget: 1, Verify: true})
+	if err != nil {
+		t.Fatalf("%s: greedy optimize: %v", q.Name, err)
+	}
+	if qp.Regime != "greedy" {
+		t.Fatalf("%s: regime %q, want greedy", q.Name, qp.Regime)
+	}
+	return q, qp, db
+}
+
+// mutationSpecs are the specs the mutation harness searches for plans
+// with the structure each mutation needs (chained moves, join
+// enforcers). Star and clique shapes at 8–10 relations reliably move
+// data between joins.
+func mutationSpecs() []qgen.Spec {
+	var out []qgen.Spec
+	for _, s := range qgen.SmallCorpus() {
+		if s.Relations >= 8 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestLargeJoinMutationSwapMoveDest runs the planverify mutation-fixture
+// harness over greedy-regime plans: swapping a producer move's
+// destination with its consumer's must surface a use-before-def.
+func TestLargeJoinMutationSwapMoveDest(t *testing.T) {
+	for _, spec := range mutationSpecs() {
+		q, qp, db := greedyPlan(t, spec)
+		steps := qp.DSQL.Steps
+		i, j, ok := findChainedMoves(steps)
+		if !ok {
+			continue
+		}
+		steps[i].Dest, steps[j].Dest = steps[j].Dest, steps[i].Dest
+		rep := planverify.Check(planverify.Artifacts{Plan: qp.Distributed, DSQL: qp.DSQL, Shell: db.Shell()})
+		if !rep.Has(planverify.CodeTempUseBeforeDef) {
+			t.Fatalf("%s: swapped move destinations not caught: %v", q.Name, rep.Violations)
+		}
+		return
+	}
+	t.Fatal("no greedy plan with chained move steps")
+}
+
+// findChainedMoves locates move steps i < j where step j's SQL reads
+// step i's destination temp (the planverify fixture harness pattern).
+func findChainedMoves(steps []dsql.Step) (int, int, bool) {
+	for i := range steps {
+		if steps[i].Kind != dsql.StepMove || steps[i].Dest == "" {
+			continue
+		}
+		for j := i + 1; j < len(steps); j++ {
+			if steps[j].Kind == dsql.StepMove &&
+				strings.Contains(steps[j].SQL, "[tempdb].["+steps[i].Dest+"]") {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// TestLargeJoinMutationDanglingTemp rewrites one temp reference in a
+// greedy plan's DSQL to a name no step produces.
+func TestLargeJoinMutationDanglingTemp(t *testing.T) {
+	for _, spec := range mutationSpecs() {
+		q, qp, db := greedyPlan(t, spec)
+		mutated := false
+		for k := range qp.DSQL.Steps {
+			s := &qp.DSQL.Steps[k]
+			if idx := strings.Index(s.SQL, "[tempdb].[TEMP_ID_"); idx >= 0 {
+				end := strings.IndexByte(s.SQL[idx:], ']') + idx
+				s.SQL = s.SQL[:idx] + "[tempdb].[TEMP_ID_999" + s.SQL[end:]
+				mutated = true
+				break
+			}
+		}
+		if !mutated {
+			continue
+		}
+		rep := planverify.Check(planverify.Artifacts{Plan: qp.Distributed, DSQL: qp.DSQL, Shell: db.Shell()})
+		if !rep.Has(planverify.CodeTempUnknown) {
+			t.Fatalf("%s: dangling temp reference not caught: %v", q.Name, rep.Violations)
+		}
+		return
+	}
+	t.Fatal("no greedy plan referencing a temp table")
+}
+
+// TestLargeJoinMutationDropEnforcer splices a movement enforcer out
+// from under a join in a greedy plan; CheckPlan must report the join as
+// no longer collocated. Only CheckPlan runs — the splice also perturbs
+// the tree/step movement cross-check, which would drown the signal.
+func TestLargeJoinMutationDropEnforcer(t *testing.T) {
+	for _, spec := range mutationSpecs() {
+		_, qp, _ := greedyPlan(t, spec)
+		var joins []*core.Option
+		seen := map[*core.Option]bool{}
+		var walk func(o *core.Option)
+		walk = func(o *core.Option) {
+			if o == nil || seen[o] {
+				return
+			}
+			seen[o] = true
+			if _, isJoin := o.Op.(*algebra.Join); isJoin {
+				joins = append(joins, o)
+			}
+			for _, in := range o.Inputs {
+				walk(in)
+			}
+		}
+		walk(qp.Distributed.Root)
+		for _, j := range joins {
+			for idx, in := range j.Inputs {
+				if in.Move == nil {
+					continue
+				}
+				j.Inputs[idx] = in.Inputs[0] // drop the enforcer
+				vs := planverify.CheckPlan(qp.Distributed)
+				j.Inputs[idx] = in // restore for the next candidate
+				for _, v := range vs {
+					if v.Code == planverify.CodeJoinNotCollocated {
+						return
+					}
+				}
+			}
+		}
+	}
+	t.Fatal("no dropped enforcer produced a collocation violation")
+}

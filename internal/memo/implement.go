@@ -252,6 +252,24 @@ func Optimize(shell *catalog.Shell, tree *algebra.Tree, budget int) (*Memo, erro
 	return OptimizeSeeded(shell, tree, budget)
 }
 
+// OptimizeFixed runs the serial pipeline WITHOUT exploration: the tree's
+// own shape is the only logical plan in the memo. This is the greedy
+// large-join regime's lowering path — the join order was already fixed
+// upstream (normalize.GreedyJoinOrder), so exploring alternatives would
+// re-open exactly the search space the budget trip just abandoned. The
+// PDW-side enumerator still runs over the fixed memo and inserts
+// movement enforcers, so distribution correctness is untouched.
+func OptimizeFixed(shell *catalog.Shell, tree *algebra.Tree) (*Memo, error) {
+	m := New(shell)
+	m.Root = m.Insert(tree)
+	m.Implement()
+	m.CostSerial()
+	if m.Groups[m.Root].Winner() == nil {
+		return nil, fmt.Errorf("memo: no plan found for root group")
+	}
+	return m, nil
+}
+
 // OptimizeSeeded is Optimize with additional equivalent seed plans
 // inserted into the root group before exploration (paper §3.1: "we seed
 // the MEMO with execution plans that consider distribution information").

@@ -4,6 +4,13 @@
 // that reconstructs it on the PDW side. The PDW optimizer consumes only
 // this representation — never in-process memo pointers — mirroring the
 // "showplan-XML-like" compilation entry point described in §3.1.
+//
+// Column metadata is hoisted into a single document-level dictionary
+// (<Cols>), and every other site — group output lists, scan column lists,
+// scalar column references — names columns by id alone. On a 100-relation
+// join memo the join conditions repeat the same few hundred columns tens
+// of thousands of times; the dictionary keeps the document linear in memo
+// size rather than quadratic in join width.
 package memoxml
 
 import (
@@ -26,6 +33,7 @@ type xMemo struct {
 	Root      int      `xml:"root,attr"`
 	MaxCol    int      `xml:"maxCol,attr"`
 	Exhausted bool     `xml:"exhausted,attr,omitempty"`
+	Cols      []xCol   `xml:"Cols>Col,omitempty"`
 	Groups    []xGroup `xml:"Group"`
 }
 
@@ -33,9 +41,9 @@ type xGroup struct {
 	ID    int        `xml:"id,attr"`
 	Rows  float64    `xml:"rows,attr"`
 	Width float64    `xml:"width,attr"`
-	Out   []xCol     `xml:"Out>Col"`
-	Stats []xColStat `xml:"Stats>Col"`
-	Keys  []string   `xml:"Keys>Key"`
+	Out   string     `xml:"out,attr,omitempty"`
+	Stats []xColStat `xml:"Stats>Col,omitempty"`
+	Keys  []string   `xml:"Keys>Key,omitempty"`
 	Exprs []xExpr    `xml:"Expr"`
 }
 
@@ -64,17 +72,17 @@ type xExpr struct {
 	// Payload variants (exactly one populated, matching Op).
 	Table    string       `xml:"table,attr,omitempty"`
 	Alias    string       `xml:"alias,attr,omitempty"`
-	Cols     []xCol       `xml:"Cols>Col"`
+	Cols     string       `xml:"cols,attr,omitempty"`
 	Filter   *xScalar     `xml:"Filter>S"`
-	Defs     []xProjDef   `xml:"Defs>Def"`
+	Defs     []xProjDef   `xml:"Defs>Def,omitempty"`
 	JoinKind uint8        `xml:"joinKind,attr,omitempty"`
 	On       *xScalar     `xml:"On>S"`
 	Keys     string       `xml:"keys,attr,omitempty"`
-	Aggs     []xAgg       `xml:"Aggs>Agg"`
+	Aggs     []xAgg       `xml:"Aggs>Agg,omitempty"`
 	Phase    uint8        `xml:"phase,attr,omitempty"`
-	SortKeys []xSortKey   `xml:"SortKeys>Key"`
+	SortKeys []xSortKey   `xml:"SortKeys>Key,omitempty"`
 	Top      int64        `xml:"top,attr,omitempty"`
-	Rows     []xValuesRow `xml:"Rows>Row"`
+	Rows     []xValuesRow `xml:"Rows>Row,omitempty"`
 }
 
 type xValuesRow struct {
@@ -100,11 +108,16 @@ type xSortKey struct {
 	Desc bool `xml:"desc,attr,omitempty"`
 }
 
-// xScalar is the recursive scalar-expression encoding.
+// xScalar is the recursive scalar-expression encoding. Column references
+// name dictionary ids: a bare reference is kind="col" col="N", and a
+// binary operator over two bare references collapses to l="N" r="M" with
+// no child elements — the dominant shape in large join conditions.
 type xScalar struct {
 	Kind string `xml:"kind,attr"`
 
-	Col     *xCol     `xml:"Col"`
+	ColID   int       `xml:"col,attr,omitempty"`
+	L       int       `xml:"l,attr,omitempty"`
+	R       int       `xml:"r,attr,omitempty"`
 	Val     string    `xml:"val,attr,omitempty"`
 	ValKind uint8     `xml:"valKind,attr,omitempty"`
 	Param   int       `xml:"param,attr,omitempty"`
@@ -118,10 +131,38 @@ type xScalar struct {
 
 // --- Encoding ---
 
+// encoder accumulates the column dictionary while serializing: the first
+// sighting of a column id registers its metadata, every later sighting
+// emits the id alone.
+type encoder struct {
+	dict  map[algebra.ColumnID]xCol
+	order []algebra.ColumnID
+}
+
+// ref registers a column in the dictionary (first sighting wins) and
+// returns its id for attribute encoding.
+func (enc *encoder) ref(id algebra.ColumnID, m algebra.ColumnMeta) int {
+	if _, ok := enc.dict[id]; !ok {
+		enc.dict[id] = xCol{ID: int(id), Name: m.Name, Qual: m.Qual, Type: uint8(m.Type)}
+		enc.order = append(enc.order, id)
+	}
+	return int(id)
+}
+
+// colList encodes an ordered column-meta list as a comma-joined id string.
+func (enc *encoder) colList(cols []algebra.ColumnMeta) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = strconv.Itoa(enc.ref(c.ID, c))
+	}
+	return strings.Join(parts, ",")
+}
+
 // Encode serializes a memo (groups, logical and physical expressions,
 // statistics, winners) as XML.
 func Encode(m *memo.Memo) ([]byte, error) {
 	maxCol := 0
+	enc := &encoder{dict: map[algebra.ColumnID]xCol{}}
 	x := xMemo{Root: int(m.Root)}
 	x.Exhausted = m.Exhausted()
 	for _, g := range m.Groups[1:] {
@@ -132,8 +173,8 @@ func Encode(m *memo.Memo) ([]byte, error) {
 		if g.Props != nil {
 			xg.Rows = g.Props.Rows
 			xg.Width = g.Props.Width
+			xg.Out = enc.colList(g.Props.OutCols)
 			for _, c := range g.Props.OutCols {
-				xg.Out = append(xg.Out, encodeColMeta(c))
 				if int(c.ID) > maxCol {
 					maxCol = int(c.ID)
 				}
@@ -148,7 +189,7 @@ func Encode(m *memo.Memo) ([]byte, error) {
 		}
 		winner := g.Winner()
 		for _, e := range g.Exprs {
-			xe, err := encodeExpr(e)
+			xe, err := enc.encodeExpr(e)
 			if err != nil {
 				return nil, err
 			}
@@ -160,6 +201,9 @@ func Encode(m *memo.Memo) ([]byte, error) {
 		x.Groups = append(x.Groups, xg)
 	}
 	x.MaxCol = maxCol + 1
+	for _, id := range enc.order {
+		x.Cols = append(x.Cols, enc.dict[id])
+	}
 	out, err := xml.MarshalIndent(x, "", " ")
 	if err != nil {
 		return nil, fmt.Errorf("memoxml: %w", err)
@@ -184,11 +228,7 @@ func colSetString(s algebra.ColSet) string {
 	return strings.Join(parts, ",")
 }
 
-func encodeColMeta(c algebra.ColumnMeta) xCol {
-	return xCol{ID: int(c.ID), Name: c.Name, Qual: c.Qual, Type: uint8(c.Type)}
-}
-
-func encodeExpr(e *memo.GroupExpr) (xExpr, error) {
+func (enc *encoder) encodeExpr(e *memo.GroupExpr) (xExpr, error) {
 	children := make([]string, len(e.Children))
 	for i, c := range e.Children {
 		children[i] = strconv.Itoa(int(c))
@@ -199,26 +239,22 @@ func encodeExpr(e *memo.GroupExpr) (xExpr, error) {
 		xe.Algo = p.Algo
 		op = p.Of
 	}
-	if err := encodeOp(&xe, op); err != nil {
+	if err := enc.encodeOp(&xe, op); err != nil {
 		return xe, err
 	}
 	return xe, nil
 }
 
-func encodeOp(xe *xExpr, op algebra.Operator) error {
+func (enc *encoder) encodeOp(xe *xExpr, op algebra.Operator) error {
 	switch o := op.(type) {
 	case *algebra.Get:
 		xe.Op = "Get"
 		xe.Table = o.Table.Name
 		xe.Alias = o.Alias
-		for _, c := range o.Cols {
-			xe.Cols = append(xe.Cols, encodeColMeta(c))
-		}
+		xe.Cols = enc.colList(o.Cols)
 	case *algebra.Values:
 		xe.Op = "Values"
-		for _, c := range o.Cols {
-			xe.Cols = append(xe.Cols, encodeColMeta(c))
-		}
+		xe.Cols = enc.colList(o.Cols)
 		for _, row := range o.Rows {
 			xr := xValuesRow{}
 			for _, v := range row {
@@ -228,7 +264,7 @@ func encodeOp(xe *xExpr, op algebra.Operator) error {
 		}
 	case *algebra.Select:
 		xe.Op = "Select"
-		s, err := encodeScalar(o.Filter)
+		s, err := enc.encodeScalar(o.Filter)
 		if err != nil {
 			return err
 		}
@@ -236,7 +272,7 @@ func encodeOp(xe *xExpr, op algebra.Operator) error {
 	case *algebra.Project:
 		xe.Op = "Project"
 		for _, d := range o.Defs {
-			s, err := encodeScalar(d.Expr)
+			s, err := enc.encodeScalar(d.Expr)
 			if err != nil {
 				return err
 			}
@@ -246,7 +282,7 @@ func encodeOp(xe *xExpr, op algebra.Operator) error {
 		xe.Op = "Join"
 		xe.JoinKind = uint8(o.Kind)
 		if o.On != nil {
-			s, err := encodeScalar(o.On)
+			s, err := enc.encodeScalar(o.On)
 			if err != nil {
 				return err
 			}
@@ -263,7 +299,7 @@ func encodeOp(xe *xExpr, op algebra.Operator) error {
 		for _, a := range o.Aggs {
 			xa := xAgg{Func: uint8(a.Func), Distinct: a.Distinct, ID: int(a.ID), Name: a.Name}
 			if a.Arg != nil {
-				s, err := encodeScalar(a.Arg)
+				s, err := enc.encodeScalar(a.Arg)
 				if err != nil {
 					return err
 				}
@@ -285,59 +321,67 @@ func encodeOp(xe *xExpr, op algebra.Operator) error {
 	return nil
 }
 
-func encodeScalar(e algebra.Scalar) (*xScalar, error) {
+func (enc *encoder) encodeScalar(e algebra.Scalar) (*xScalar, error) {
 	switch x := e.(type) {
 	case *algebra.ColRef:
-		c := encodeColMeta(x.Meta)
-		c.ID = int(x.ID)
-		return &xScalar{Kind: "col", Col: &c}, nil
+		return &xScalar{Kind: "col", ColID: enc.ref(x.ID, x.Meta)}, nil
 	case *algebra.Const:
 		s := encodeConst(x.Val)
 		s.Param = x.Param
 		return s, nil
 	case *algebra.Binary:
-		l, err := encodeScalar(x.L)
+		// Two bare column references — the dominant shape in join
+		// conditions — collapse to a single element with l/r attributes.
+		if lc, lok := x.L.(*algebra.ColRef); lok {
+			if rc, rok := x.R.(*algebra.ColRef); rok {
+				return &xScalar{
+					Kind: "bin", Op: uint8(x.Op),
+					L: enc.ref(lc.ID, lc.Meta), R: enc.ref(rc.ID, rc.Meta),
+				}, nil
+			}
+		}
+		l, err := enc.encodeScalar(x.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := encodeScalar(x.R)
+		r, err := enc.encodeScalar(x.R)
 		if err != nil {
 			return nil, err
 		}
 		return &xScalar{Kind: "bin", Op: uint8(x.Op), Args: []xScalar{*l, *r}}, nil
 	case *algebra.Not:
-		a, err := encodeScalar(x.E)
+		a, err := enc.encodeScalar(x.E)
 		if err != nil {
 			return nil, err
 		}
 		return &xScalar{Kind: "not", Args: []xScalar{*a}}, nil
 	case *algebra.Neg:
-		a, err := encodeScalar(x.E)
+		a, err := enc.encodeScalar(x.E)
 		if err != nil {
 			return nil, err
 		}
 		return &xScalar{Kind: "neg", Args: []xScalar{*a}}, nil
 	case *algebra.IsNull:
-		a, err := encodeScalar(x.E)
+		a, err := enc.encodeScalar(x.E)
 		if err != nil {
 			return nil, err
 		}
 		return &xScalar{Kind: "isnull", Negated: x.Negated, Args: []xScalar{*a}}, nil
 	case *algebra.Like:
-		a, err := encodeScalar(x.E)
+		a, err := enc.encodeScalar(x.E)
 		if err != nil {
 			return nil, err
 		}
 		return &xScalar{Kind: "like", Negated: x.Negated, Pattern: x.Pattern, Args: []xScalar{*a}}, nil
 	case *algebra.InList:
 		out := &xScalar{Kind: "inlist", Negated: x.Negated}
-		a, err := encodeScalar(x.E)
+		a, err := enc.encodeScalar(x.E)
 		if err != nil {
 			return nil, err
 		}
 		out.Args = append(out.Args, *a)
 		for _, el := range x.List {
-			s, err := encodeScalar(el)
+			s, err := enc.encodeScalar(el)
 			if err != nil {
 				return nil, err
 			}
@@ -347,7 +391,7 @@ func encodeScalar(e algebra.Scalar) (*xScalar, error) {
 	case *algebra.Func:
 		out := &xScalar{Kind: "func", Name: x.Name, OutKind: uint8(x.Out)}
 		for _, a := range x.Args {
-			s, err := encodeScalar(a)
+			s, err := enc.encodeScalar(a)
 			if err != nil {
 				return nil, err
 			}
@@ -357,18 +401,18 @@ func encodeScalar(e algebra.Scalar) (*xScalar, error) {
 	case *algebra.Case:
 		out := &xScalar{Kind: "case"}
 		for _, w := range x.Whens {
-			c, err := encodeScalar(w.Cond)
+			c, err := enc.encodeScalar(w.Cond)
 			if err != nil {
 				return nil, err
 			}
-			t, err := encodeScalar(w.Then)
+			t, err := enc.encodeScalar(w.Then)
 			if err != nil {
 				return nil, err
 			}
 			out.Args = append(out.Args, *c, *t)
 		}
 		if x.Else != nil {
-			e2, err := encodeScalar(x.Else)
+			e2, err := enc.encodeScalar(x.Else)
 			if err != nil {
 				return nil, err
 			}
@@ -377,7 +421,7 @@ func encodeScalar(e algebra.Scalar) (*xScalar, error) {
 		}
 		return out, nil
 	case *algebra.Cast:
-		a, err := encodeScalar(x.E)
+		a, err := enc.encodeScalar(x.E)
 		if err != nil {
 			return nil, err
 		}
@@ -444,12 +488,48 @@ type Decoded struct {
 	Groups    map[int]*DecodedGroup
 }
 
+// colDict resolves dictionary ids back to column metadata during decode.
+type colDict map[int]algebra.ColumnMeta
+
+func (d colDict) meta(id int) (algebra.ColumnMeta, error) {
+	m, ok := d[id]
+	if !ok {
+		return algebra.ColumnMeta{}, fmt.Errorf("memoxml: column %d missing from dictionary", id)
+	}
+	return m, nil
+}
+
+// metaList resolves a comma-joined id list to ordered column metadata.
+func (d colDict) metaList(s string) ([]algebra.ColumnMeta, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]algebra.ColumnMeta, len(parts))
+	for i, part := range parts {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("memoxml: bad column id %q", part)
+		}
+		m, err := d.meta(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
 // Decode parses memo XML, resolving table references against the shell
 // database.
 func Decode(data []byte, shell *catalog.Shell) (*Decoded, error) {
 	var x xMemo
 	if err := xml.Unmarshal(data, &x); err != nil {
 		return nil, fmt.Errorf("memoxml: %w", err)
+	}
+	dict := colDict{}
+	for _, c := range x.Cols {
+		dict[c.ID] = decodeColMeta(c)
 	}
 	out := &Decoded{Root: x.Root, MaxCol: x.MaxCol, Exhausted: x.Exhausted, Groups: map[int]*DecodedGroup{}}
 	for _, xg := range x.Groups {
@@ -459,8 +539,9 @@ func Decode(data []byte, shell *catalog.Shell) (*Decoded, error) {
 			Width:    xg.Width,
 			ColStats: map[algebra.ColumnID]DecodedColStat{},
 		}
-		for _, c := range xg.Out {
-			g.OutCols = append(g.OutCols, decodeColMeta(c))
+		var err error
+		if g.OutCols, err = dict.metaList(xg.Out); err != nil {
+			return nil, err
 		}
 		for _, s := range xg.Stats {
 			g.ColStats[algebra.ColumnID(s.ID)] = DecodedColStat{NDV: s.NDV, NullFrac: s.NullFrac, Width: s.Width}
@@ -473,7 +554,7 @@ func Decode(data []byte, shell *catalog.Shell) (*Decoded, error) {
 			g.Keys = append(g.Keys, set)
 		}
 		for _, xe := range xg.Exprs {
-			e, err := decodeExpr(xe, shell)
+			e, err := decodeExpr(xe, shell, dict)
 			if err != nil {
 				return nil, err
 			}
@@ -563,7 +644,7 @@ func parseColSet(s string) (algebra.ColSet, error) {
 	return set, nil
 }
 
-func decodeExpr(xe xExpr, shell *catalog.Shell) (DecodedExpr, error) {
+func decodeExpr(xe xExpr, shell *catalog.Shell, dict colDict) (DecodedExpr, error) {
 	e := DecodedExpr{Physical: xe.Physical, Cost: xe.Cost, Winner: xe.Winner}
 	if xe.Children != "" {
 		for _, part := range strings.Split(xe.Children, ",") {
@@ -574,7 +655,7 @@ func decodeExpr(xe xExpr, shell *catalog.Shell) (DecodedExpr, error) {
 			e.Children = append(e.Children, n)
 		}
 	}
-	op, err := decodeOp(xe, shell)
+	op, err := decodeOp(xe, shell, dict)
 	if err != nil {
 		return e, err
 	}
@@ -585,22 +666,22 @@ func decodeExpr(xe xExpr, shell *catalog.Shell) (DecodedExpr, error) {
 	return e, nil
 }
 
-func decodeOp(xe xExpr, shell *catalog.Shell) (algebra.Operator, error) {
+func decodeOp(xe xExpr, shell *catalog.Shell, dict colDict) (algebra.Operator, error) {
 	switch xe.Op {
 	case "Get":
 		tbl := shell.Table(xe.Table)
 		if tbl == nil {
 			return nil, fmt.Errorf("memoxml: unknown table %q", xe.Table)
 		}
-		cols := make([]algebra.ColumnMeta, len(xe.Cols))
-		for i, c := range xe.Cols {
-			cols[i] = decodeColMeta(c)
+		cols, err := dict.metaList(xe.Cols)
+		if err != nil {
+			return nil, err
 		}
 		return &algebra.Get{Table: tbl, Alias: xe.Alias, Cols: cols}, nil
 	case "Values":
-		cols := make([]algebra.ColumnMeta, len(xe.Cols))
-		for i, c := range xe.Cols {
-			cols[i] = decodeColMeta(c)
+		cols, err := dict.metaList(xe.Cols)
+		if err != nil {
+			return nil, err
 		}
 		v := &algebra.Values{Cols: cols}
 		for _, xr := range xe.Rows {
@@ -619,7 +700,7 @@ func decodeOp(xe xExpr, shell *catalog.Shell) (algebra.Operator, error) {
 		if xe.Filter == nil {
 			return &algebra.Select{}, nil
 		}
-		f, err := decodeScalar(*xe.Filter)
+		f, err := decodeScalar(*xe.Filter, dict)
 		if err != nil {
 			return nil, err
 		}
@@ -627,7 +708,7 @@ func decodeOp(xe xExpr, shell *catalog.Shell) (algebra.Operator, error) {
 	case "Project":
 		defs := make([]algebra.ProjDef, len(xe.Defs))
 		for i, d := range xe.Defs {
-			expr, err := decodeScalar(d.Expr)
+			expr, err := decodeScalar(d.Expr, dict)
 			if err != nil {
 				return nil, err
 			}
@@ -637,7 +718,7 @@ func decodeOp(xe xExpr, shell *catalog.Shell) (algebra.Operator, error) {
 	case "Join":
 		j := &algebra.Join{Kind: algebra.JoinKind(xe.JoinKind)}
 		if xe.On != nil {
-			on, err := decodeScalar(*xe.On)
+			on, err := decodeScalar(*xe.On, dict)
 			if err != nil {
 				return nil, err
 			}
@@ -663,7 +744,7 @@ func decodeOp(xe xExpr, shell *catalog.Shell) (algebra.Operator, error) {
 				Name:     a.Name,
 			}
 			if a.Arg != nil {
-				arg, err := decodeScalar(*a.Arg)
+				arg, err := decodeScalar(*a.Arg, dict)
 				if err != nil {
 					return nil, err
 				}
@@ -684,10 +765,13 @@ func decodeOp(xe xExpr, shell *catalog.Shell) (algebra.Operator, error) {
 	return nil, fmt.Errorf("memoxml: unknown operator %q", xe.Op)
 }
 
-func decodeScalar(x xScalar) (algebra.Scalar, error) {
+func decodeScalar(x xScalar, dict colDict) (algebra.Scalar, error) {
 	switch x.Kind {
 	case "col":
-		m := decodeColMeta(*x.Col)
+		m, err := dict.meta(x.ColID)
+		if err != nil {
+			return nil, err
+		}
 		return &algebra.ColRef{ID: m.ID, Meta: m}, nil
 	case "const":
 		v, err := decodeConst(x)
@@ -696,47 +780,65 @@ func decodeScalar(x xScalar) (algebra.Scalar, error) {
 		}
 		return &algebra.Const{Val: v, Param: x.Param}, nil
 	case "bin":
-		l, err := decodeScalar(x.Args[0])
+		if x.L > 0 || x.R > 0 {
+			lm, err := dict.meta(x.L)
+			if err != nil {
+				return nil, err
+			}
+			rm, err := dict.meta(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return &algebra.Binary{
+				Op: sqlparser.BinOp(x.Op),
+				L:  &algebra.ColRef{ID: lm.ID, Meta: lm},
+				R:  &algebra.ColRef{ID: rm.ID, Meta: rm},
+			}, nil
+		}
+		if len(x.Args) != 2 {
+			return nil, fmt.Errorf("memoxml: binary scalar with %d operands", len(x.Args))
+		}
+		l, err := decodeScalar(x.Args[0], dict)
 		if err != nil {
 			return nil, err
 		}
-		r, err := decodeScalar(x.Args[1])
+		r, err := decodeScalar(x.Args[1], dict)
 		if err != nil {
 			return nil, err
 		}
 		return &algebra.Binary{Op: sqlparser.BinOp(x.Op), L: l, R: r}, nil
 	case "not":
-		a, err := decodeScalar(x.Args[0])
+		a, err := decodeScalar(x.Args[0], dict)
 		if err != nil {
 			return nil, err
 		}
 		return &algebra.Not{E: a}, nil
 	case "neg":
-		a, err := decodeScalar(x.Args[0])
+		a, err := decodeScalar(x.Args[0], dict)
 		if err != nil {
 			return nil, err
 		}
 		return &algebra.Neg{E: a}, nil
 	case "isnull":
-		a, err := decodeScalar(x.Args[0])
+		a, err := decodeScalar(x.Args[0], dict)
 		if err != nil {
 			return nil, err
 		}
 		return &algebra.IsNull{E: a, Negated: x.Negated}, nil
 	case "like":
-		a, err := decodeScalar(x.Args[0])
+		a, err := decodeScalar(x.Args[0], dict)
 		if err != nil {
 			return nil, err
 		}
 		return &algebra.Like{E: a, Pattern: x.Pattern, Negated: x.Negated}, nil
 	case "inlist":
-		a, err := decodeScalar(x.Args[0])
+		a, err := decodeScalar(x.Args[0], dict)
 		if err != nil {
 			return nil, err
 		}
 		out := &algebra.InList{E: a, Negated: x.Negated}
 		for _, el := range x.Args[1:] {
-			s, err := decodeScalar(el)
+			s, err := decodeScalar(el, dict)
 			if err != nil {
 				return nil, err
 			}
@@ -746,7 +848,7 @@ func decodeScalar(x xScalar) (algebra.Scalar, error) {
 	case "func":
 		out := &algebra.Func{Name: x.Name, Out: types.Kind(x.OutKind)}
 		for _, a := range x.Args {
-			s, err := decodeScalar(a)
+			s, err := decodeScalar(a, dict)
 			if err != nil {
 				return nil, err
 			}
@@ -757,7 +859,7 @@ func decodeScalar(x xScalar) (algebra.Scalar, error) {
 		out := &algebra.Case{}
 		args := x.Args
 		if x.Negated { // ELSE present
-			e, err := decodeScalar(args[len(args)-1])
+			e, err := decodeScalar(args[len(args)-1], dict)
 			if err != nil {
 				return nil, err
 			}
@@ -768,11 +870,11 @@ func decodeScalar(x xScalar) (algebra.Scalar, error) {
 			return nil, fmt.Errorf("memoxml: malformed CASE")
 		}
 		for i := 0; i < len(args); i += 2 {
-			c, err := decodeScalar(args[i])
+			c, err := decodeScalar(args[i], dict)
 			if err != nil {
 				return nil, err
 			}
-			t, err := decodeScalar(args[i+1])
+			t, err := decodeScalar(args[i+1], dict)
 			if err != nil {
 				return nil, err
 			}
@@ -780,7 +882,7 @@ func decodeScalar(x xScalar) (algebra.Scalar, error) {
 		}
 		return out, nil
 	case "cast":
-		a, err := decodeScalar(x.Args[0])
+		a, err := decodeScalar(x.Args[0], dict)
 		if err != nil {
 			return nil, err
 		}

@@ -263,14 +263,14 @@ func pushdownOnce(t *algebra.Tree) (*algebra.Tree, bool) {
 		children[i] = nc
 		changed = changed || ch
 	}
-	t = algebra.NewTree(t.Op, children...)
+	t = algebra.NewTreeSameSchema(t, t.Op, children...)
 
 	switch op := t.Op.(type) {
 	case *algebra.Select:
 		// Merge Select(Select(x)).
 		if innerSel, ok := t.Children[0].Op.(*algebra.Select); ok {
 			merged := algebra.AndAll([]algebra.Scalar{op.Filter, innerSel.Filter})
-			return algebra.NewTree(&algebra.Select{Filter: merged}, t.Children[0].Children[0]), true
+			return algebra.NewTreeSameSchema(t, &algebra.Select{Filter: merged}, t.Children[0].Children[0]), true
 		}
 		var kept []algebra.Scalar
 		node := t.Children[0]
@@ -286,7 +286,7 @@ func pushdownOnce(t *algebra.Tree) (*algebra.Tree, bool) {
 		if len(kept) == 0 {
 			return node, true
 		}
-		return algebra.NewTree(&algebra.Select{Filter: algebra.AndAll(kept)}, node), changed
+		return algebra.NewTreeSameSchema(t, &algebra.Select{Filter: algebra.AndAll(kept)}, node), changed
 
 	case *algebra.Join:
 		if op.On == nil {
@@ -299,25 +299,25 @@ func pushdownOnce(t *algebra.Tree) (*algebra.Tree, bool) {
 			switch op.Kind {
 			case algebra.JoinInner, algebra.JoinCross:
 				if cols.SubsetOf(left.OutputColSet()) && len(cols) > 0 {
-					left = algebra.NewTree(&algebra.Select{Filter: conj}, left)
+					left = algebra.NewTreeSameSchema(left, &algebra.Select{Filter: conj}, left)
 					changed = true
 					continue
 				}
 				if cols.SubsetOf(right.OutputColSet()) && len(cols) > 0 {
-					right = algebra.NewTree(&algebra.Select{Filter: conj}, right)
+					right = algebra.NewTreeSameSchema(right, &algebra.Select{Filter: conj}, right)
 					changed = true
 					continue
 				}
 			case algebra.JoinLeftOuter:
 				// Only right-side-only conjuncts push into the right input.
 				if cols.SubsetOf(right.OutputColSet()) && len(cols) > 0 {
-					right = algebra.NewTree(&algebra.Select{Filter: conj}, right)
+					right = algebra.NewTreeSameSchema(right, &algebra.Select{Filter: conj}, right)
 					changed = true
 					continue
 				}
 			case algebra.JoinSemi, algebra.JoinAnti:
 				if cols.SubsetOf(right.OutputColSet()) && len(cols) > 0 {
-					right = algebra.NewTree(&algebra.Select{Filter: conj}, right)
+					right = algebra.NewTreeSameSchema(right, &algebra.Select{Filter: conj}, right)
 					changed = true
 					continue
 				}
@@ -332,7 +332,7 @@ func pushdownOnce(t *algebra.Tree) (*algebra.Tree, bool) {
 		if !changed {
 			return t, false
 		}
-		return algebra.NewTree(&algebra.Join{Kind: kind, On: algebra.AndAll(keep)}, left, right), true
+		return algebra.NewTreeSameSchema(t, &algebra.Join{Kind: kind, On: algebra.AndAll(keep)}, left, right), true
 	}
 	return t, changed
 }
@@ -345,7 +345,7 @@ func placeConjunct(node *algebra.Tree, conj algebra.Scalar) (*algebra.Tree, bool
 	switch op := node.Op.(type) {
 	case *algebra.Select:
 		// Append to the child select (it will merge on the next pass).
-		return algebra.NewTree(&algebra.Select{Filter: algebra.AndAll([]algebra.Scalar{op.Filter, conj})}, node.Children[0]), true
+		return algebra.NewTreeSameSchema(node, &algebra.Select{Filter: algebra.AndAll([]algebra.Scalar{op.Filter, conj})}, node.Children[0]), true
 
 	case *algebra.Project:
 		inlined, ok := inlineThroughProject(conj, op)
@@ -354,9 +354,9 @@ func placeConjunct(node *algebra.Tree, conj algebra.Scalar) (*algebra.Tree, bool
 		}
 		child, pushed := placeConjunct(node.Children[0], inlined)
 		if !pushed {
-			child = algebra.NewTree(&algebra.Select{Filter: inlined}, node.Children[0])
+			child = algebra.NewTreeSameSchema(node.Children[0], &algebra.Select{Filter: inlined}, node.Children[0])
 		}
-		return algebra.NewTree(op, child), true
+		return algebra.NewTreeSameSchema(node, op, child), true
 
 	case *algebra.Join:
 		left, right := node.Children[0], node.Children[1]
@@ -365,16 +365,16 @@ func placeConjunct(node *algebra.Tree, conj algebra.Scalar) (*algebra.Tree, bool
 			if cols.SubsetOf(left.OutputColSet()) {
 				nl, pushed := placeConjunct(left, conj)
 				if !pushed {
-					nl = algebra.NewTree(&algebra.Select{Filter: conj}, left)
+					nl = algebra.NewTreeSameSchema(left, &algebra.Select{Filter: conj}, left)
 				}
-				return algebra.NewTree(op, nl, right), true
+				return algebra.NewTreeSameSchema(node, op, nl, right), true
 			}
 			if cols.SubsetOf(right.OutputColSet()) {
 				nr, pushed := placeConjunct(right, conj)
 				if !pushed {
-					nr = algebra.NewTree(&algebra.Select{Filter: conj}, right)
+					nr = algebra.NewTreeSameSchema(right, &algebra.Select{Filter: conj}, right)
 				}
-				return algebra.NewTree(op, left, nr), true
+				return algebra.NewTreeSameSchema(node, op, left, nr), true
 			}
 			// Spans both sides: fold into the join condition.
 			kind := op.Kind
@@ -382,21 +382,21 @@ func placeConjunct(node *algebra.Tree, conj algebra.Scalar) (*algebra.Tree, bool
 				kind = algebra.JoinInner
 			}
 			on := algebra.AndAll([]algebra.Scalar{op.On, conj})
-			return algebra.NewTree(&algebra.Join{Kind: kind, On: on}, left, right), true
+			return algebra.NewTreeSameSchema(node, &algebra.Join{Kind: kind, On: on}, left, right), true
 
 		case algebra.JoinLeftOuter:
 			if cols.SubsetOf(left.OutputColSet()) {
 				nl, pushed := placeConjunct(left, conj)
 				if !pushed {
-					nl = algebra.NewTree(&algebra.Select{Filter: conj}, left)
+					nl = algebra.NewTreeSameSchema(left, &algebra.Select{Filter: conj}, left)
 				}
-				return algebra.NewTree(op, nl, right), true
+				return algebra.NewTreeSameSchema(node, op, nl, right), true
 			}
 			// A null-rejecting predicate over right-side columns converts
 			// the outer join to inner (paper §5: outer-join reordering
 			// enablement), after which it can be pushed normally.
 			if cols.Intersects(right.OutputColSet()) && isNullRejectingOn(conj, right.OutputColSet()) {
-				inner := algebra.NewTree(&algebra.Join{Kind: algebra.JoinInner, On: op.On}, left, right)
+				inner := algebra.NewTreeSameSchema(node, &algebra.Join{Kind: algebra.JoinInner, On: op.On}, left, right)
 				return placeConjunct(inner, conj)
 			}
 			return node, false
@@ -405,9 +405,9 @@ func placeConjunct(node *algebra.Tree, conj algebra.Scalar) (*algebra.Tree, bool
 			if cols.SubsetOf(left.OutputColSet()) {
 				nl, pushed := placeConjunct(left, conj)
 				if !pushed {
-					nl = algebra.NewTree(&algebra.Select{Filter: conj}, left)
+					nl = algebra.NewTreeSameSchema(left, &algebra.Select{Filter: conj}, left)
 				}
-				return algebra.NewTree(op, nl, right), true
+				return algebra.NewTreeSameSchema(node, op, nl, right), true
 			}
 			return node, false
 		}
@@ -420,9 +420,9 @@ func placeConjunct(node *algebra.Tree, conj algebra.Scalar) (*algebra.Tree, bool
 		if cols.SubsetOf(algebra.NewColSet(op.Keys...)) && len(cols) > 0 {
 			child, pushed := placeConjunct(node.Children[0], conj)
 			if !pushed {
-				child = algebra.NewTree(&algebra.Select{Filter: conj}, node.Children[0])
+				child = algebra.NewTreeSameSchema(node.Children[0], &algebra.Select{Filter: conj}, node.Children[0])
 			}
-			return algebra.NewTree(op, child), true
+			return algebra.NewTreeSameSchema(node, op, child), true
 		}
 		return node, false
 
@@ -432,20 +432,20 @@ func placeConjunct(node *algebra.Tree, conj algebra.Scalar) (*algebra.Tree, bool
 		}
 		child, pushed := placeConjunct(node.Children[0], conj)
 		if !pushed {
-			child = algebra.NewTree(&algebra.Select{Filter: conj}, node.Children[0])
+			child = algebra.NewTreeSameSchema(node.Children[0], &algebra.Select{Filter: conj}, node.Children[0])
 		}
-		return algebra.NewTree(op, child), true
+		return algebra.NewTreeSameSchema(node, op, child), true
 
 	case *algebra.UnionAll:
 		l, lp := placeConjunct(node.Children[0], conj)
 		if !lp {
-			l = algebra.NewTree(&algebra.Select{Filter: conj}, node.Children[0])
+			l = algebra.NewTreeSameSchema(node.Children[0], &algebra.Select{Filter: conj}, node.Children[0])
 		}
 		r, rp := placeConjunct(node.Children[1], conj)
 		if !rp {
-			r = algebra.NewTree(&algebra.Select{Filter: conj}, node.Children[1])
+			r = algebra.NewTreeSameSchema(node.Children[1], &algebra.Select{Filter: conj}, node.Children[1])
 		}
-		return algebra.NewTree(op, l, r), true
+		return algebra.NewTreeSameSchema(node, op, l, r), true
 	}
 	return node, false
 }

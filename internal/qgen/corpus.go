@@ -1,0 +1,47 @@
+package qgen
+
+// Corpus is the checked-in seed corpus: one spec per (topology, size
+// bucket), 32 queries total, spanning executable small joins (≤10
+// relations, where exhaustive search is feasible and the metamorphic
+// difftest compares greedy vs exhaustive results byte-for-byte) up to
+// 100-relation optimize-only stress shapes. The golden fingerprints
+// under testdata/ pin the generator's output; regenerate with
+//
+//	go test ./internal/qgen -run TestCorpusGolden -update
+func Corpus() []Spec {
+	sizes := []int{4, 6, 8, 10, 16, 24, 48, 100}
+	var out []Spec
+	for ti, topo := range Topologies() {
+		for si, n := range sizes {
+			out = append(out, Spec{
+				Topology:  topo,
+				Relations: n,
+				Seed:      int64(1000 + 17*ti + 101*si),
+			})
+		}
+	}
+	return out
+}
+
+// SmallCorpus filters the corpus to specs where exhaustive enumeration is
+// feasible and the generated query is executed, not just planned.
+func SmallCorpus() []Spec {
+	var out []Spec
+	for _, s := range Corpus() {
+		if s.Relations <= 10 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LargeCorpus filters the corpus to the optimize-only stress specs.
+func LargeCorpus() []Spec {
+	var out []Spec
+	for _, s := range Corpus() {
+		if s.Relations > 10 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

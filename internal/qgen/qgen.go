@@ -1,0 +1,430 @@
+// Package qgen is a seeded, deterministic stress-query generator for the
+// large-join search regime (ROADMAP item 3): it emits star, chain, clique
+// and mixed join topologies over synthetic catalogs of 2–100+ relations —
+// varied row counts, hash/replicated distribution mixes, selectivity-
+// annotated filters — as SQL text plus expected-shape metadata. The
+// generated workloads go far past the 22 TPC-H queries (≤8-way joins)
+// that the optimizer had been exercised on, and every query is built so
+// it can actually be *executed*, not just planned:
+//
+//   - every join edge is a key/foreign-key equality whose foreign keys are
+//     drawn from the referenced table's key domain, so an n-way chain or
+//     star join never multiplies past its largest input;
+//   - clique predicates equate per-table "cluster" columns sampled without
+//     replacement from a shared domain twice the largest table, so the
+//     n-way intersection stays tiny;
+//   - heads are aggregations (COUNT/MIN/MAX/SUM, optionally grouped), so
+//     result relations stay narrow.
+//
+// All column names are globally unique across a generated catalog, so the
+// SQL uses unqualified references and comma-join FROM lists — the exact
+// shape the rest of the test corpus (difftest, fuzz) already exercises.
+//
+// Determinism is the point: Generate is a pure function of the Spec (the
+// seeded math/rand source is the only entropy), and Fingerprint hashes the
+// spec, DDL, SQL and every generated row, so the checked-in corpus
+// goldens detect any drift across runs and Go versions.
+package qgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pdwqo/internal/catalog"
+	"pdwqo/internal/types"
+)
+
+// Topology names a join-graph family.
+type Topology string
+
+// The four generated join-graph families.
+const (
+	// Star joins every satellite table to one central hub on a
+	// hub-key/foreign-key equality.
+	Star Topology = "star"
+	// Chain joins table i to table i+1, key to foreign key.
+	Chain Topology = "chain"
+	// Clique equates per-table cluster columns pairwise: every pair of
+	// tables shares a predicate edge.
+	Clique Topology = "clique"
+	// Mixed is a star over the first half of the tables with a chain
+	// hanging off the hub's last spoke, plus extra back-edges into the
+	// hub every third chain table.
+	Mixed Topology = "mixed"
+)
+
+// Topologies lists the generated families in a fixed order.
+func Topologies() []Topology { return []Topology{Star, Chain, Clique, Mixed} }
+
+// Spec is the full input of one generated query; equal specs generate
+// byte-identical queries.
+type Spec struct {
+	Topology  Topology
+	Relations int
+	Seed      int64
+	// Nodes sizes the shell's appliance topology; 0 means 8.
+	Nodes int
+}
+
+// Name renders the spec as a stable corpus identifier.
+func (s Spec) Name() string {
+	return fmt.Sprintf("%s%03d_s%d", s.Topology, s.Relations, s.Seed)
+}
+
+// Edge is one join-predicate edge of the expected shape.
+type Edge struct {
+	LeftTable, LeftColumn   string
+	RightTable, RightColumn string
+}
+
+// Filter is one selectivity-annotated single-table predicate
+// (column <= bound over a uniform 0..999 payload domain).
+type Filter struct {
+	Table, Column string
+	Bound         int64
+	Selectivity   float64
+}
+
+// Shape is the expected-shape metadata of a generated query, used by the
+// difftest property checks (every relation covered exactly once, no cross
+// join when a predicate edge exists).
+type Shape struct {
+	Tables     []string
+	Edges      []Edge
+	Filters    []Filter
+	Replicated []string
+	// GroupBy is the grouping column of a grouped head, "" for scalar
+	// aggregate heads.
+	GroupBy string
+}
+
+// Query is one generated stress query: catalog, data, SQL and shape.
+type Query struct {
+	Name   string
+	Spec   Spec
+	SQL    string
+	Tables []*catalog.Table
+	Data   map[string][]types.Row
+	Shape  Shape
+}
+
+// table is the generator's working view of one relation.
+type table struct {
+	name    string
+	rows    int
+	pkCol   string // k<i>: unique 0..rows-1
+	fkCol   string // f<i>: foreign key into a parent's pk domain ("" if none)
+	fkOf    int    // parent table index for fkCol
+	hubCol  string // h<i>: extra foreign key into the hub (mixed only, "" if none)
+	clqCol  string // c<i>: cluster column over the shared clique domain
+	payCol  string // v<i>: uniform 0..999 payload (filter target)
+	grpCol  string // g<i>: small-domain 0..7 grouping column
+	fkVals  []int64
+	hubVals []int64
+	clqVals []int64
+	dist    catalog.Distribution
+}
+
+// Generate builds the query for a spec. It is deterministic: the same
+// spec always yields the same catalog, data, SQL and shape.
+func Generate(spec Spec) (*Query, error) {
+	if spec.Relations < 2 {
+		return nil, fmt.Errorf("qgen: spec needs at least 2 relations, got %d", spec.Relations)
+	}
+	if spec.Relations > 200 {
+		return nil, fmt.Errorf("qgen: spec capped at 200 relations, got %d", spec.Relations)
+	}
+	switch spec.Topology {
+	case Star, Chain, Clique, Mixed:
+	default:
+		return nil, fmt.Errorf("qgen: unknown topology %q", spec.Topology)
+	}
+	if spec.Nodes == 0 {
+		spec.Nodes = 8
+	}
+	if spec.Nodes < 1 {
+		return nil, fmt.Errorf("qgen: spec needs at least 1 compute node, got %d", spec.Nodes)
+	}
+	// Mix the seed with the rest of the spec so the same seed still
+	// yields distinct workloads per (topology, size).
+	h := int64(1)
+	for _, b := range []byte(spec.Name()) {
+		h = h*131 + int64(b)
+	}
+	r := rand.New(rand.NewSource(spec.Seed*1_000_003 + h))
+
+	n := spec.Relations
+	// Row-count envelope: big enough for meaningful statistics, small
+	// enough that joining all of them is executable. Past 32 relations
+	// the corpus is optimize-focused, so tables shrink.
+	hubLo, hubSpan, lo, span := 140, 100, 30, 90
+	if n > 32 {
+		hubLo, hubSpan, lo, span = 60, 40, 15, 25
+	}
+
+	tabs := make([]*table, n)
+	maxRows := 0
+	for i := range tabs {
+		rows := lo + r.Intn(span)
+		if i == 0 && (spec.Topology == Star || spec.Topology == Mixed) {
+			// The hub is the largest table, so every spoke's expected
+			// per-hub-key multiplicity stays below 1 and the n-way star
+			// result does not blow up.
+			rows = hubLo + r.Intn(hubSpan)
+		}
+		tabs[i] = &table{
+			name:   fmt.Sprintf("%s%02d", spec.Topology[:2], i),
+			rows:   rows,
+			pkCol:  fmt.Sprintf("k%d", i),
+			payCol: fmt.Sprintf("v%d", i),
+			grpCol: fmt.Sprintf("g%d", i),
+		}
+		if rows > maxRows {
+			maxRows = rows
+		}
+	}
+
+	// Join structure per topology.
+	hub := n / 2 // first chain table in Mixed
+	for i, t := range tabs {
+		switch spec.Topology {
+		case Chain:
+			if i > 0 {
+				t.fkCol, t.fkOf = fmt.Sprintf("f%d", i), i-1
+			}
+		case Star:
+			if i > 0 {
+				t.fkCol, t.fkOf = fmt.Sprintf("f%d", i), 0
+			}
+		case Clique:
+			t.clqCol = fmt.Sprintf("c%d", i)
+		case Mixed:
+			if i > 0 && i <= hub {
+				t.fkCol, t.fkOf = fmt.Sprintf("f%d", i), 0
+			} else if i > hub {
+				t.fkCol, t.fkOf = fmt.Sprintf("f%d", i), i-1
+				if i%3 == 0 {
+					t.hubCol = fmt.Sprintf("h%d", i)
+				}
+			}
+		}
+	}
+
+	// Foreign-key and cluster values. Foreign keys are drawn uniformly
+	// from the parent's key domain, so every child row matches exactly
+	// one parent row. Cluster values are sampled without replacement
+	// from a shared domain twice the largest table.
+	clqDomain := 2 * maxRows
+	for _, t := range tabs {
+		if t.fkCol != "" {
+			parent := tabs[t.fkOf]
+			t.fkVals = make([]int64, t.rows)
+			for j := range t.fkVals {
+				t.fkVals[j] = int64(r.Intn(parent.rows))
+			}
+		}
+		if t.hubCol != "" {
+			t.hubVals = make([]int64, t.rows)
+			for j := range t.hubVals {
+				t.hubVals[j] = int64(r.Intn(tabs[0].rows))
+			}
+		}
+		if t.clqCol != "" {
+			perm := r.Perm(clqDomain)
+			t.clqVals = make([]int64, t.rows)
+			for j := range t.clqVals {
+				t.clqVals[j] = int64(perm[j])
+			}
+		}
+	}
+
+	// Distribution mix: ~20% replicated, the rest hash-distributed on a
+	// seeded pick of join key, foreign key, or payload column.
+	var replicated []string
+	for _, t := range tabs {
+		if r.Float64() < 0.2 {
+			t.dist = catalog.Distribution{Kind: catalog.DistReplicated}
+			replicated = append(replicated, t.name)
+			continue
+		}
+		cands := []string{t.pkCol}
+		if t.fkCol != "" {
+			cands = append(cands, t.fkCol, t.fkCol) // join-relevant columns preferred
+		}
+		if t.clqCol != "" {
+			cands = append(cands, t.clqCol, t.clqCol)
+		}
+		cands = append(cands, t.payCol)
+		t.dist = catalog.Distribution{Kind: catalog.DistHash, Column: cands[r.Intn(len(cands))]}
+	}
+
+	// Catalog and data.
+	q := &Query{Name: spec.Name(), Spec: spec, Data: make(map[string][]types.Row, n)}
+	for _, t := range tabs {
+		cols := []catalog.Column{{Name: t.pkCol, Type: types.KindInt}}
+		if t.fkCol != "" {
+			cols = append(cols, catalog.Column{Name: t.fkCol, Type: types.KindInt})
+		}
+		if t.hubCol != "" {
+			cols = append(cols, catalog.Column{Name: t.hubCol, Type: types.KindInt})
+		}
+		if t.clqCol != "" {
+			cols = append(cols, catalog.Column{Name: t.clqCol, Type: types.KindInt})
+		}
+		cols = append(cols,
+			catalog.Column{Name: t.payCol, Type: types.KindInt},
+			catalog.Column{Name: t.grpCol, Type: types.KindInt})
+		q.Tables = append(q.Tables, &catalog.Table{
+			Name:       t.name,
+			Columns:    cols,
+			PrimaryKey: []string{t.pkCol},
+			Dist:       t.dist,
+		})
+		rows := make([]types.Row, t.rows)
+		for j := 0; j < t.rows; j++ {
+			row := types.Row{types.NewInt(int64(j))}
+			if t.fkCol != "" {
+				row = append(row, types.NewInt(t.fkVals[j]))
+			}
+			if t.hubCol != "" {
+				row = append(row, types.NewInt(t.hubVals[j]))
+			}
+			if t.clqCol != "" {
+				row = append(row, types.NewInt(t.clqVals[j]))
+			}
+			row = append(row,
+				types.NewInt(int64(r.Intn(1000))),
+				types.NewInt(int64(r.Intn(8))))
+			rows[j] = row
+		}
+		q.Data[t.name] = rows
+	}
+
+	// Predicate edges.
+	var edges []Edge
+	for i, t := range tabs {
+		if t.fkCol != "" {
+			p := tabs[t.fkOf]
+			edges = append(edges, Edge{p.name, p.pkCol, t.name, t.fkCol})
+		}
+		if t.hubCol != "" {
+			edges = append(edges, Edge{tabs[0].name, tabs[0].pkCol, t.name, t.hubCol})
+		}
+		if t.clqCol != "" {
+			for j := i + 1; j < n; j++ {
+				edges = append(edges, Edge{t.name, t.clqCol, tabs[j].name, tabs[j].clqCol})
+			}
+		}
+	}
+
+	// Selectivity-annotated filters: v<i> <= B over the uniform 0..999
+	// payload, selectivity (B+1)/1000.
+	var filters []Filter
+	for _, t := range tabs {
+		if r.Float64() < 0.4 {
+			b := int64(99 + r.Intn(801))
+			filters = append(filters, Filter{
+				Table: t.name, Column: t.payCol, Bound: b,
+				Selectivity: float64(b+1) / 1000,
+			})
+		}
+	}
+
+	// Head: scalar COUNT, scalar MIN/MAX/COUNT, or a grouped aggregate.
+	groupBy := ""
+	var head string
+	switch r.Intn(3) {
+	case 0:
+		head = "SELECT COUNT(*) AS cnt"
+	case 1:
+		a, b := tabs[r.Intn(n)], tabs[r.Intn(n)]
+		head = fmt.Sprintf("SELECT MIN(%s) AS mn, MAX(%s) AS mx, COUNT(*) AS cnt", a.pkCol, b.payCol)
+	default:
+		a, b := tabs[r.Intn(n)], tabs[r.Intn(n)]
+		groupBy = a.grpCol
+		head = fmt.Sprintf("SELECT %s, COUNT(*) AS cnt, SUM(%s) AS sv", a.grpCol, b.payCol)
+	}
+
+	var preds []string
+	for _, e := range edges {
+		preds = append(preds, fmt.Sprintf("%s = %s", e.LeftColumn, e.RightColumn))
+	}
+	for _, f := range filters {
+		preds = append(preds, fmt.Sprintf("%s <= %d", f.Column, f.Bound))
+	}
+	var names []string
+	for _, t := range tabs {
+		names = append(names, t.name)
+	}
+	var b strings.Builder
+	b.WriteString(head)
+	b.WriteString("\nFROM ")
+	b.WriteString(strings.Join(names, ", "))
+	b.WriteString("\nWHERE ")
+	b.WriteString(strings.Join(preds, "\n  AND "))
+	if groupBy != "" {
+		b.WriteString("\nGROUP BY ")
+		b.WriteString(groupBy)
+	}
+	q.SQL = b.String()
+	q.Shape = Shape{
+		Tables:     names,
+		Edges:      edges,
+		Filters:    filters,
+		Replicated: replicated,
+		GroupBy:    groupBy,
+	}
+	return q, nil
+}
+
+// Shell builds a fresh shell database over the query's catalog (no
+// statistics — pdwqo.Open computes and merges them from the data).
+func (q *Query) Shell() (*catalog.Shell, error) {
+	s := catalog.NewShell(q.Spec.Nodes)
+	for _, t := range q.Tables {
+		if err := s.AddTable(t); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// DDL renders the catalog as pseudo-DDL, one line per table, for goldens
+// and fingerprinting.
+func (q *Query) DDL() string {
+	var b strings.Builder
+	for _, t := range q.Tables {
+		var cols []string
+		for _, c := range t.Columns {
+			cols = append(cols, c.Name+" "+c.Type.String())
+		}
+		fmt.Fprintf(&b, "CREATE TABLE %s (%s) DISTRIBUTION=%s PK(%s) ROWS=%d\n",
+			t.Name, strings.Join(cols, ", "), t.Dist, strings.Join(t.PrimaryKey, ","), len(q.Data[t.Name]))
+	}
+	return b.String()
+}
+
+// Fingerprint hashes the spec, DDL, SQL and every generated row: any
+// drift in the generator — across runs, seeds handling, or Go versions —
+// changes the fingerprint and fails the corpus regression test.
+func (q *Query) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%d\n", q.Name, q.Spec.Topology, q.Spec.Relations, q.Spec.Seed, q.Spec.Nodes)
+	h.Write([]byte(q.DDL()))
+	h.Write([]byte{0})
+	h.Write([]byte(q.SQL))
+	h.Write([]byte{0})
+	for _, t := range q.Tables { // q.Tables is in generation order
+		for _, row := range q.Data[t.Name] {
+			for _, v := range row {
+				h.Write([]byte(v.String()))
+				h.Write([]byte{','})
+			}
+			h.Write([]byte{';'})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,247 @@
+package qgen
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdwqo/internal/catalog"
+)
+
+var update = flag.Bool("update", false, "re-bless the corpus goldens")
+
+// TestGenerateDeterministic: the same spec generates byte-identical
+// queries — SQL, DDL, data and fingerprint — on repeated calls.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, spec := range []Spec{
+		{Topology: Star, Relations: 8, Seed: 7},
+		{Topology: Chain, Relations: 12, Seed: 7},
+		{Topology: Clique, Relations: 6, Seed: 7},
+		{Topology: Mixed, Relations: 9, Seed: 7},
+	} {
+		a, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		b, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		if a.SQL != b.SQL {
+			t.Errorf("%s: SQL differs across runs", spec.Name())
+		}
+		if a.DDL() != b.DDL() {
+			t.Errorf("%s: DDL differs across runs", spec.Name())
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("%s: fingerprint differs across runs", spec.Name())
+		}
+	}
+}
+
+// TestGenerateSeedSensitive: different seeds produce different workloads.
+func TestGenerateSeedSensitive(t *testing.T) {
+	a, err := Generate(Spec{Topology: Star, Relations: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Spec{Topology: Star, Relations: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("distinct seeds generated identical queries")
+	}
+}
+
+// TestGenerateErrors: invalid specs fail with diagnostics instead of
+// generating garbage.
+func TestGenerateErrors(t *testing.T) {
+	for _, spec := range []Spec{
+		{Topology: Star, Relations: 1, Seed: 1},
+		{Topology: Star, Relations: 500, Seed: 1},
+		{Topology: Topology("ring"), Relations: 8, Seed: 1},
+		{Topology: Chain, Relations: 8, Seed: 1, Nodes: -2},
+	} {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("spec %+v: expected error", spec)
+		}
+	}
+}
+
+// TestShapeInvariants: the emitted shape matches the topology contract —
+// edge counts, connectivity, referenced tables, filter selectivities and
+// a coherent SQL rendering.
+func TestShapeInvariants(t *testing.T) {
+	for _, spec := range Corpus() {
+		q, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		n := spec.Relations
+		if len(q.Shape.Tables) != n || len(q.Tables) != n {
+			t.Fatalf("%s: expected %d tables, got %d/%d", q.Name, n, len(q.Shape.Tables), len(q.Tables))
+		}
+		wantEdges := n - 1
+		switch spec.Topology {
+		case Clique:
+			wantEdges = n * (n - 1) / 2
+		case Mixed:
+			for i := n/2 + 1; i < n; i++ {
+				if i%3 == 0 {
+					wantEdges++
+				}
+			}
+		}
+		if len(q.Shape.Edges) != wantEdges {
+			t.Errorf("%s: expected %d edges, got %d", q.Name, wantEdges, len(q.Shape.Edges))
+		}
+		// The join graph must be connected: the difftest property "no
+		// cross join when a predicate edge exists" relies on it.
+		adj := map[string][]string{}
+		for _, e := range q.Shape.Edges {
+			adj[e.LeftTable] = append(adj[e.LeftTable], e.RightTable)
+			adj[e.RightTable] = append(adj[e.RightTable], e.LeftTable)
+		}
+		seen := map[string]bool{q.Shape.Tables[0]: true}
+		stack := []string{q.Shape.Tables[0]}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nb := range adj[cur] {
+				if !seen[nb] {
+					seen[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		if len(seen) != n {
+			t.Errorf("%s: join graph disconnected: reached %d of %d tables", q.Name, len(seen), n)
+		}
+		for _, f := range q.Shape.Filters {
+			if f.Selectivity <= 0 || f.Selectivity > 1 {
+				t.Errorf("%s: filter %s.%s selectivity %g out of (0,1]", q.Name, f.Table, f.Column, f.Selectivity)
+			}
+			want := float64(f.Bound+1) / 1000
+			if f.Selectivity != want {
+				t.Errorf("%s: filter %s selectivity %g, want %g", q.Name, f.Column, f.Selectivity, want)
+			}
+			if !strings.Contains(q.SQL, fmt.Sprintf("%s <= %d", f.Column, f.Bound)) {
+				t.Errorf("%s: filter %s missing from SQL", q.Name, f.Column)
+			}
+		}
+		for _, name := range q.Shape.Tables {
+			if !strings.Contains(q.SQL, name) {
+				t.Errorf("%s: table %s missing from SQL", q.Name, name)
+			}
+		}
+		if q.Shape.GroupBy != "" && !strings.Contains(q.SQL, "GROUP BY "+q.Shape.GroupBy) {
+			t.Errorf("%s: GROUP BY %s missing from SQL", q.Name, q.Shape.GroupBy)
+		}
+		// Replicated metadata agrees with the catalog, and row counts
+		// match the data.
+		repl := map[string]bool{}
+		for _, name := range q.Shape.Replicated {
+			repl[name] = true
+		}
+		for _, tab := range q.Tables {
+			if got := tab.Dist.Kind == catalog.DistReplicated; got != repl[tab.Name] {
+				t.Errorf("%s: table %s replicated=%t disagrees with shape", q.Name, tab.Name, got)
+			}
+			if len(q.Data[tab.Name]) == 0 {
+				t.Errorf("%s: table %s has no rows", q.Name, tab.Name)
+			}
+		}
+	}
+}
+
+// TestShell: the generated catalog passes the shell database's own
+// validation (unique columns, valid distribution and key columns).
+func TestShell(t *testing.T) {
+	for _, spec := range Corpus() {
+		q, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		shell, err := q.Shell()
+		if err != nil {
+			t.Fatalf("%s: shell: %v", q.Name, err)
+		}
+		if got := len(shell.Tables()); got != spec.Relations {
+			t.Fatalf("%s: shell has %d tables, want %d", q.Name, got, spec.Relations)
+		}
+	}
+}
+
+// TestCorpusGolden pins the corpus: names, SQL text and fingerprints must
+// match the checked-in goldens exactly. Re-bless with -update after an
+// intentional generator change.
+func TestCorpusGolden(t *testing.T) {
+	var manifest strings.Builder
+	for _, spec := range Corpus() {
+		q, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		fmt.Fprintf(&manifest, "%s %s\n", q.Fingerprint(), q.Name)
+		sqlPath := filepath.Join("testdata", "corpus", q.Name+".sql")
+		if *update {
+			if err := os.WriteFile(sqlPath, []byte(q.SQL+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(sqlPath)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update): %v", q.Name, err)
+		}
+		if string(want) != q.SQL+"\n" {
+			t.Errorf("%s: generated SQL drifted from golden %s", q.Name, sqlPath)
+		}
+	}
+	manifestPath := filepath.Join("testdata", "corpus", "MANIFEST")
+	if *update {
+		if err := os.WriteFile(manifestPath, []byte(manifest.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatalf("missing corpus manifest (run with -update): %v", err)
+	}
+	if string(want) != manifest.String() {
+		t.Error("corpus fingerprints drifted from testdata/corpus/MANIFEST (re-bless with -update after intentional changes)")
+	}
+}
+
+// TestCorpusBuckets: the corpus covers every topology at every size
+// bucket, and the small/large split is exact.
+func TestCorpusBuckets(t *testing.T) {
+	all := Corpus()
+	if len(all) != len(SmallCorpus())+len(LargeCorpus()) {
+		t.Fatal("small/large split does not partition the corpus")
+	}
+	perTopo := map[Topology]int{}
+	for _, s := range all {
+		perTopo[s.Topology]++
+	}
+	for _, topo := range Topologies() {
+		if perTopo[topo] != len(all)/len(Topologies()) {
+			t.Errorf("topology %s has %d specs, want %d", topo, perTopo[topo], len(all)/len(Topologies()))
+		}
+	}
+	for _, s := range SmallCorpus() {
+		if s.Relations > 10 {
+			t.Errorf("small corpus contains %d-relation spec", s.Relations)
+		}
+	}
+	for _, s := range LargeCorpus() {
+		if s.Relations <= 10 {
+			t.Errorf("large corpus contains %d-relation spec", s.Relations)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+SELECT COUNT(*) AS cnt
+FROM ch00, ch01, ch02, ch03
+WHERE k0 = f1
+  AND k1 = f2
+  AND k2 = f3
+  AND v0 <= 887
+  AND v1 <= 370
+  AND v3 <= 503

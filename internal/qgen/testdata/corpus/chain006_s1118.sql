@@ -1,0 +1,10 @@
+SELECT MIN(k1) AS mn, MAX(v0) AS mx, COUNT(*) AS cnt
+FROM ch00, ch01, ch02, ch03, ch04, ch05
+WHERE k0 = f1
+  AND k1 = f2
+  AND k2 = f3
+  AND k3 = f4
+  AND k4 = f5
+  AND v1 <= 791
+  AND v2 <= 334
+  AND v4 <= 623

@@ -1,0 +1,13 @@
+SELECT g6, COUNT(*) AS cnt, SUM(v4) AS sv
+FROM ch00, ch01, ch02, ch03, ch04, ch05, ch06, ch07
+WHERE k0 = f1
+  AND k1 = f2
+  AND k2 = f3
+  AND k3 = f4
+  AND k4 = f5
+  AND k5 = f6
+  AND k6 = f7
+  AND v0 <= 216
+  AND v2 <= 670
+  AND v6 <= 708
+GROUP BY g6

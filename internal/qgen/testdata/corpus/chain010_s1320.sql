@@ -1,0 +1,18 @@
+SELECT g1, COUNT(*) AS cnt, SUM(v5) AS sv
+FROM ch00, ch01, ch02, ch03, ch04, ch05, ch06, ch07, ch08, ch09
+WHERE k0 = f1
+  AND k1 = f2
+  AND k2 = f3
+  AND k3 = f4
+  AND k4 = f5
+  AND k5 = f6
+  AND k6 = f7
+  AND k7 = f8
+  AND k8 = f9
+  AND v0 <= 153
+  AND v1 <= 458
+  AND v2 <= 837
+  AND v4 <= 657
+  AND v6 <= 110
+  AND v7 <= 216
+GROUP BY g1

@@ -1,0 +1,26 @@
+SELECT g1, COUNT(*) AS cnt, SUM(v1) AS sv
+FROM ch00, ch01, ch02, ch03, ch04, ch05, ch06, ch07, ch08, ch09, ch10, ch11, ch12, ch13, ch14, ch15
+WHERE k0 = f1
+  AND k1 = f2
+  AND k2 = f3
+  AND k3 = f4
+  AND k4 = f5
+  AND k5 = f6
+  AND k6 = f7
+  AND k7 = f8
+  AND k8 = f9
+  AND k9 = f10
+  AND k10 = f11
+  AND k11 = f12
+  AND k12 = f13
+  AND k13 = f14
+  AND k14 = f15
+  AND v1 <= 612
+  AND v2 <= 437
+  AND v4 <= 655
+  AND v5 <= 717
+  AND v7 <= 325
+  AND v11 <= 299
+  AND v12 <= 769
+  AND v14 <= 851
+GROUP BY g1

@@ -1,0 +1,12 @@
+SELECT MIN(k1) AS mn, MAX(v3) AS mx, COUNT(*) AS cnt
+FROM cl00, cl01, cl02, cl03
+WHERE c0 = c1
+  AND c0 = c2
+  AND c0 = c3
+  AND c1 = c2
+  AND c1 = c3
+  AND c2 = c3
+  AND v0 <= 303
+  AND v1 <= 698
+  AND v2 <= 728
+  AND v3 <= 549

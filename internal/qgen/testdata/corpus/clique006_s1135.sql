@@ -1,0 +1,19 @@
+SELECT MIN(k3) AS mn, MAX(v0) AS mx, COUNT(*) AS cnt
+FROM cl00, cl01, cl02, cl03, cl04, cl05
+WHERE c0 = c1
+  AND c0 = c2
+  AND c0 = c3
+  AND c0 = c4
+  AND c0 = c5
+  AND c1 = c2
+  AND c1 = c3
+  AND c1 = c4
+  AND c1 = c5
+  AND c2 = c3
+  AND c2 = c4
+  AND c2 = c5
+  AND c3 = c4
+  AND c3 = c5
+  AND c4 = c5
+  AND v4 <= 564
+  AND v5 <= 819

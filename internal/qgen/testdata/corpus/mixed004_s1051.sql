@@ -1,0 +1,8 @@
+SELECT MIN(k1) AS mn, MAX(v0) AS mx, COUNT(*) AS cnt
+FROM mi00, mi01, mi02, mi03
+WHERE k0 = f1
+  AND k0 = f2
+  AND k2 = f3
+  AND k0 = h3
+  AND v0 <= 835
+  AND v3 <= 422

@@ -1,0 +1,9 @@
+SELECT g5, COUNT(*) AS cnt, SUM(v2) AS sv
+FROM mi00, mi01, mi02, mi03, mi04, mi05
+WHERE k0 = f1
+  AND k0 = f2
+  AND k0 = f3
+  AND k3 = f4
+  AND k4 = f5
+  AND v0 <= 578
+GROUP BY g5

@@ -1,0 +1,15 @@
+SELECT MIN(k2) AS mn, MAX(v4) AS mx, COUNT(*) AS cnt
+FROM mi00, mi01, mi02, mi03, mi04, mi05, mi06, mi07
+WHERE k0 = f1
+  AND k0 = f2
+  AND k0 = f3
+  AND k0 = f4
+  AND k4 = f5
+  AND k5 = f6
+  AND k0 = h6
+  AND k6 = f7
+  AND v1 <= 281
+  AND v2 <= 799
+  AND v3 <= 504
+  AND v4 <= 691
+  AND v6 <= 680

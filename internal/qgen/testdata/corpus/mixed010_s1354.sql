@@ -1,0 +1,19 @@
+SELECT g5, COUNT(*) AS cnt, SUM(v1) AS sv
+FROM mi00, mi01, mi02, mi03, mi04, mi05, mi06, mi07, mi08, mi09
+WHERE k0 = f1
+  AND k0 = f2
+  AND k0 = f3
+  AND k0 = f4
+  AND k0 = f5
+  AND k5 = f6
+  AND k0 = h6
+  AND k6 = f7
+  AND k7 = f8
+  AND k8 = f9
+  AND k0 = h9
+  AND v2 <= 733
+  AND v3 <= 614
+  AND v6 <= 848
+  AND v7 <= 287
+  AND v9 <= 764
+GROUP BY g5

@@ -1,0 +1,31 @@
+SELECT g13, COUNT(*) AS cnt, SUM(v10) AS sv
+FROM mi00, mi01, mi02, mi03, mi04, mi05, mi06, mi07, mi08, mi09, mi10, mi11, mi12, mi13, mi14, mi15
+WHERE k0 = f1
+  AND k0 = f2
+  AND k0 = f3
+  AND k0 = f4
+  AND k0 = f5
+  AND k0 = f6
+  AND k0 = f7
+  AND k0 = f8
+  AND k8 = f9
+  AND k0 = h9
+  AND k9 = f10
+  AND k10 = f11
+  AND k11 = f12
+  AND k0 = h12
+  AND k12 = f13
+  AND k13 = f14
+  AND k14 = f15
+  AND k0 = h15
+  AND v1 <= 193
+  AND v2 <= 404
+  AND v3 <= 869
+  AND v5 <= 229
+  AND v6 <= 134
+  AND v7 <= 757
+  AND v8 <= 790
+  AND v11 <= 460
+  AND v12 <= 316
+  AND v13 <= 221
+GROUP BY g13

@@ -1,0 +1,5 @@
+SELECT MIN(k2) AS mn, MAX(v1) AS mx, COUNT(*) AS cnt
+FROM st00, st01, st02, st03
+WHERE k0 = f1
+  AND k0 = f2
+  AND k0 = f3

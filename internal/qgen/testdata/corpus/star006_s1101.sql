@@ -1,0 +1,13 @@
+SELECT g0, COUNT(*) AS cnt, SUM(v3) AS sv
+FROM st00, st01, st02, st03, st04, st05
+WHERE k0 = f1
+  AND k0 = f2
+  AND k0 = f3
+  AND k0 = f4
+  AND k0 = f5
+  AND v0 <= 630
+  AND v1 <= 211
+  AND v2 <= 801
+  AND v4 <= 220
+  AND v5 <= 438
+GROUP BY g0

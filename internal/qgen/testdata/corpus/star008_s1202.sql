@@ -1,0 +1,11 @@
+SELECT COUNT(*) AS cnt
+FROM st00, st01, st02, st03, st04, st05, st06, st07
+WHERE k0 = f1
+  AND k0 = f2
+  AND k0 = f3
+  AND k0 = f4
+  AND k0 = f5
+  AND k0 = f6
+  AND k0 = f7
+  AND v1 <= 578
+  AND v6 <= 240

@@ -1,0 +1,14 @@
+SELECT COUNT(*) AS cnt
+FROM st00, st01, st02, st03, st04, st05, st06, st07, st08, st09
+WHERE k0 = f1
+  AND k0 = f2
+  AND k0 = f3
+  AND k0 = f4
+  AND k0 = f5
+  AND k0 = f6
+  AND k0 = f7
+  AND k0 = f8
+  AND k0 = f9
+  AND v3 <= 403
+  AND v4 <= 194
+  AND v9 <= 319

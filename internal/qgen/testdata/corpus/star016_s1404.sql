@@ -1,0 +1,23 @@
+SELECT MIN(k11) AS mn, MAX(v3) AS mx, COUNT(*) AS cnt
+FROM st00, st01, st02, st03, st04, st05, st06, st07, st08, st09, st10, st11, st12, st13, st14, st15
+WHERE k0 = f1
+  AND k0 = f2
+  AND k0 = f3
+  AND k0 = f4
+  AND k0 = f5
+  AND k0 = f6
+  AND k0 = f7
+  AND k0 = f8
+  AND k0 = f9
+  AND k0 = f10
+  AND k0 = f11
+  AND k0 = f12
+  AND k0 = f13
+  AND k0 = f14
+  AND k0 = f15
+  AND v0 <= 172
+  AND v4 <= 144
+  AND v8 <= 723
+  AND v11 <= 872
+  AND v12 <= 543
+  AND v15 <= 687

@@ -1,0 +1,35 @@
+SELECT g3, COUNT(*) AS cnt, SUM(v0) AS sv
+FROM st00, st01, st02, st03, st04, st05, st06, st07, st08, st09, st10, st11, st12, st13, st14, st15, st16, st17, st18, st19, st20, st21, st22, st23
+WHERE k0 = f1
+  AND k0 = f2
+  AND k0 = f3
+  AND k0 = f4
+  AND k0 = f5
+  AND k0 = f6
+  AND k0 = f7
+  AND k0 = f8
+  AND k0 = f9
+  AND k0 = f10
+  AND k0 = f11
+  AND k0 = f12
+  AND k0 = f13
+  AND k0 = f14
+  AND k0 = f15
+  AND k0 = f16
+  AND k0 = f17
+  AND k0 = f18
+  AND k0 = f19
+  AND k0 = f20
+  AND k0 = f21
+  AND k0 = f22
+  AND k0 = f23
+  AND v5 <= 175
+  AND v11 <= 718
+  AND v12 <= 238
+  AND v14 <= 99
+  AND v15 <= 225
+  AND v17 <= 122
+  AND v18 <= 380
+  AND v19 <= 111
+  AND v23 <= 368
+GROUP BY g3

@@ -17,6 +17,7 @@ package pdwqo
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -155,6 +156,17 @@ type Options struct {
 	// initial plan inserted into the MEMO joins collocated factors first,
 	// which preserves plan quality under tight exploration budgets.
 	SeedCollocated bool
+	// SearchBudget caps the PDW-side enumeration at a number of options
+	// considered, checked at the wave barriers of the bottom-up search;
+	// 0 disables the cap (exhaustive enumeration, the default). When the
+	// budget trips, compilation does not fail: it switches to the greedy
+	// regime — the join order is fixed by the cheapest-feasible-edge
+	// heuristic (normalize.GreedyJoinOrder), the memo is rebuilt without
+	// exploration, and the enumerator re-runs over that structurally
+	// bounded search space, still inserting movement enforcers so the
+	// plan stays collocation-correct. QueryPlan.Regime reports which
+	// regime produced the plan.
+	SearchBudget int
 	// Parallelism bounds the worker pools of the PDW-side plan enumerator
 	// (independent MEMO groups per topological wave) and, when this
 	// Options value is passed to Execute, of the appliance's per-node
@@ -336,6 +348,11 @@ type QueryPlan struct {
 	// "shared" (joined another caller's in-flight compilation), or "miss"
 	// (this caller compiled it).
 	CacheStatus string
+	// Regime reports how the search space was covered: "" when no
+	// search budget was set, "exhaustive" when a budget was set but the
+	// enumeration finished within it, and "greedy" when the budget
+	// tripped and the plan came from the greedy join-order fallback.
+	Regime string
 }
 
 // Cost returns the plan's modeled DMS cost.
@@ -460,8 +477,8 @@ func (db *DB) envSignature(opts Options) string {
 	if opts.Lambda != nil {
 		lambda = *opts.Lambda
 	}
-	return fmt.Sprintf("mode=%d budget=%d noir=%t nosplit=%t seedcol=%t nodes=%d lambda=%+v",
-		opts.Mode, opts.Budget, opts.DisableInterestingRetention,
+	return fmt.Sprintf("mode=%d budget=%d sb=%d noir=%t nosplit=%t seedcol=%t nodes=%d lambda=%+v",
+		opts.Mode, opts.Budget, opts.SearchBudget, opts.DisableInterestingRetention,
 		opts.DisableAggSplit, opts.SeedCollocated,
 		db.shell.Topology.ComputeNodes, lambda)
 }
@@ -530,42 +547,90 @@ func (db *DB) compile(sql string, opts Options, pq *normalize.ParamQuery) (*Quer
 	}
 	sp.End()
 
-	sp = tr.BeginUnder(osp.ID(), "memoxml-encode")
-	data, err := memoxml.Encode(m)
-	if err != nil {
-		return fail(sp, err)
-	}
-	sp.Int("bytes", int64(len(data)))
-	sp.End()
-
-	sp = tr.BeginUnder(osp.ID(), "memoxml-decode")
-	dec, err := memoxml.Decode(data, db.shell)
-	if err != nil {
-		return fail(sp, err)
-	}
-	sp.End()
-
 	lambda := cost.DefaultLambda()
 	if opts.Lambda != nil {
 		lambda = *opts.Lambda
 	}
 	model := cost.NewModel(db.shell.Topology.ComputeNodes, lambda)
-	sp = tr.BeginUnder(osp.ID(), "pdw-optimize")
-	cfg := core.Config{
-		Mode:                        opts.Mode,
-		DisableInterestingRetention: opts.DisableInterestingRetention,
-		DisableAggSplit:             opts.DisableAggSplit,
-		Parallelism:                 opts.Parallelism,
-		Tracer:                      tr,
-		TraceParent:                 sp.ID(),
+	// lower runs the back half of the pipeline — XML round-trip and
+	// PDW-side enumeration — over one memo, under the given search
+	// budget. Phase spans close themselves on error; the caller decides
+	// whether the error fails compilation or switches regimes.
+	lower := func(m *memo.Memo, searchBudget int) ([]byte, *memoxml.Decoded, *core.Optimizer, *core.Plan, error) {
+		sp := tr.BeginUnder(osp.ID(), "memoxml-encode")
+		data, err := memoxml.Encode(m)
+		if err != nil {
+			sp.SetErr(err)
+			sp.End()
+			return nil, nil, nil, nil, err
+		}
+		sp.Int("bytes", int64(len(data)))
+		sp.End()
+
+		sp = tr.BeginUnder(osp.ID(), "memoxml-decode")
+		dec, err := memoxml.Decode(data, db.shell)
+		if err != nil {
+			sp.SetErr(err)
+			sp.End()
+			return nil, nil, nil, nil, err
+		}
+		sp.End()
+
+		sp = tr.BeginUnder(osp.ID(), "pdw-optimize")
+		cfg := core.Config{
+			Mode:                        opts.Mode,
+			DisableInterestingRetention: opts.DisableInterestingRetention,
+			DisableAggSplit:             opts.DisableAggSplit,
+			Parallelism:                 opts.Parallelism,
+			SearchBudget:                searchBudget,
+			Tracer:                      tr,
+			TraceParent:                 sp.ID(),
+		}
+		opt := core.New(dec, db.shell, model, cfg)
+		plan, err := opt.Optimize()
+		if err != nil {
+			sp.SetErr(err)
+			sp.End()
+			return nil, nil, nil, nil, err
+		}
+		sp.Int("options_considered", int64(plan.OptionsConsidered))
+		sp.End()
+		return data, dec, opt, plan, nil
 	}
-	opt := core.New(dec, db.shell, model, cfg)
-	plan, err := opt.Optimize()
+
+	regime := ""
+	if opts.SearchBudget > 0 {
+		regime = "exhaustive"
+	}
+	data, dec, opt, plan, err := lower(m, opts.SearchBudget)
 	if err != nil {
-		return fail(sp, err)
+		var be *core.BudgetError
+		if !errors.As(err, &be) {
+			osp.SetErr(err)
+			return nil, err
+		}
+		// The budget tripped: switch to the greedy regime. The join
+		// order is fixed by the cheapest-feasible-edge heuristic, the
+		// memo is rebuilt without exploration, and the enumerator
+		// re-runs with the budget off — the fixed memo bounds the
+		// search structurally, and the re-run still inserts movement
+		// enforcers so the plan stays collocation-correct.
+		regime = "greedy"
+		sp = tr.BeginUnder(osp.ID(), "greedy-fallback")
+		sp.Int("budget", int64(be.Budget))
+		sp.Int("considered", be.Considered)
+		tr.Counters().Add("optimize.greedy_fallback", 1)
+		m, err = memo.OptimizeFixed(db.shell, normalize.GreedyJoinOrder(norm))
+		if err != nil {
+			return fail(sp, err)
+		}
+		sp.End()
+		data, dec, opt, plan, err = lower(m, 0)
+		if err != nil {
+			osp.SetErr(err)
+			return nil, err
+		}
 	}
-	sp.Int("options_considered", int64(plan.OptionsConsidered))
-	sp.End()
 
 	sp = tr.BeginUnder(osp.ID(), "dsql-gen")
 	dp, err := dsql.Generate(plan, norm.OutputCols())
@@ -598,6 +663,7 @@ func (db *DB) compile(sql string, opts Options, pq *normalize.ParamQuery) (*Quer
 		MemoXML:     data,
 		Distributed: plan,
 		DSQL:        dp,
+		Regime:      regime,
 	}, nil
 }
 
