@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pdwqo"
+	"pdwqo/internal/planverify"
+	"pdwqo/internal/planverify/transval"
+)
+
+// --- E23: translation validation — overhead, domain sweep, mutation kills ---
+
+// e23 characterizes the DSQL translation validator (§3.4 boundary): the
+// wall-clock cost of re-parsing and abstractly re-interpreting every
+// emitted step relative to a cold compile, the per-domain finding counts
+// over the clean TPC-H corpus (the zero-false-positive claim), and a
+// mutation kill table — one seeded defect per violation domain, each of
+// which must be caught and must fire exactly its own code. The
+// N=1/2/4/8 × regime sweep of the same validator runs in
+// internal/difftest; this experiment records the numbers the paper-style
+// writeup quotes.
+func e23(db *pdwqo.DB) {
+	header("E23", "translation validation — re-parse overhead, clean-corpus sweep, mutation kills")
+	const reps = 5
+	db.SetPlanCache(-1)
+
+	domains := []planverify.Code{
+		transval.CodeReparse, transval.CodeRefs, transval.CodeSchema,
+		transval.CodeLineage, transval.CodeNullability,
+		transval.CodeDistribution, transval.CodePredicate,
+	}
+	counts := map[planverify.Code]int{}
+
+	fmt.Printf("%-6s %12s %12s %9s %6s\n", "query", "compile", "transval", "overhead", "steps")
+	var compileTotal, checkTotal time.Duration
+	for _, name := range pdwqo.TPCHQueryNames() {
+		sql := mustTPCH(name)
+		var compile, check time.Duration
+		var steps int
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			qp, err := db.Optimize(sql, pdwqo.Options{})
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			compile += time.Since(start)
+			steps = len(qp.DSQL.Steps)
+			start = time.Now()
+			vs := transval.Check(qp.Distributed, qp.DSQL, db.Shell())
+			check += time.Since(start)
+			if rep == 0 {
+				for _, v := range vs {
+					counts[v.Code]++
+				}
+			}
+		}
+		compileTotal += compile
+		checkTotal += check
+		fmt.Printf("%-6s %12v %12v %8.1f%% %6d\n",
+			name, (compile / reps).Round(time.Microsecond),
+			(check / reps).Round(time.Microsecond),
+			100*float64(check)/float64(compile), steps)
+	}
+	fmt.Printf("suite: compile %v, transval %v, overhead %.1f%% (bar: <5%%)\n\n",
+		compileTotal.Round(time.Millisecond), checkTotal.Round(time.Millisecond),
+		100*float64(checkTotal)/float64(compileTotal))
+
+	fmt.Println("clean-corpus findings by domain (all must be 0):")
+	clean := true
+	for _, d := range domains {
+		fmt.Printf("  %-24s %d\n", d, counts[d])
+		if counts[d] != 0 {
+			clean = false
+		}
+	}
+	if clean {
+		fmt.Println("  zero false positives across the 22-query corpus")
+	}
+	fmt.Println()
+
+	// Mutation kill table: each entry seeds one defect into a freshly
+	// compiled plan's emitted artifacts and the validator must catch it
+	// with exactly the domain the defect lives in — no misses, no
+	// cascades into neighbouring domains.
+	mutations := []struct {
+		domain planverify.Code
+		query  string
+		defect string
+		apply  func(qp *pdwqo.QueryPlan) bool
+	}{
+		{transval.CodeReparse, "q01", "corrupt step 0 SQL text",
+			func(qp *pdwqo.QueryPlan) bool { return editStep(qp, 0, "SELECT", "SELEC T") }},
+		{transval.CodeRefs, "q01", "retarget temp read to an unproduced temp",
+			func(qp *pdwqo.QueryPlan) bool {
+				return editStep(qp, len(qp.DSQL.Steps)-1, "[tempdb].[TEMP_ID_1]", "[tempdb].[TEMP_ID_9]")
+			}},
+		{transval.CodeSchema, "q01", "rename a final output alias",
+			func(qp *pdwqo.QueryPlan) bool {
+				return editStep(qp, len(qp.DSQL.Steps)-1, "AS [l_returnflag]", "AS [mutant]")
+			}},
+		{transval.CodeLineage, "q01", "swap a projection source for a same-typed column",
+			func(qp *pdwqo.QueryPlan) bool { return editStep(qp, 0, "T1.[l_discount] AS c7", "T1.[l_tax] AS c7") }},
+		{transval.CodeNullability, "q05", "weaken an inner join to a left join",
+			func(qp *pdwqo.QueryPlan) bool {
+				sql := qp.DSQL.Steps[0].SQL
+				i := strings.LastIndex(sql, " INNER JOIN ")
+				if i < 0 {
+					return false
+				}
+				qp.DSQL.Steps[0].SQL = sql[:i] + " LEFT JOIN " + sql[i+len(" INNER JOIN "):]
+				return true
+			}},
+		{transval.CodeDistribution, "q01", "flip a step's recorded execution placement",
+			func(qp *pdwqo.QueryPlan) bool {
+				qp.DSQL.Steps[0].Where = (qp.DSQL.Steps[0].Where + 1) % 3
+				return true
+			}},
+		{transval.CodePredicate, "q01", "loosen a range comparison (<= to <)",
+			func(qp *pdwqo.QueryPlan) bool { return editStep(qp, 0, "(T2.c11 <= ", "(T2.c11 < ") }},
+	}
+
+	fmt.Println("mutation kill table (one seeded defect per domain):")
+	fmt.Printf("  %-24s %-5s %-44s %s\n", "domain", "query", "defect", "result")
+	killed := 0
+	for _, m := range mutations {
+		qp, err := db.Optimize(mustTPCH(m.query), pdwqo.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if !m.apply(qp) {
+			fmt.Printf("  %-24s %-5s %-44s defect site missing\n", m.domain, m.query, m.defect)
+			continue
+		}
+		vs := transval.Check(qp.Distributed, qp.DSQL, db.Shell())
+		result := "MISSED"
+		switch {
+		case len(vs) == 0:
+		case allCode(vs, m.domain):
+			result = fmt.Sprintf("killed (%d violation(s), all %s)", len(vs), m.domain)
+			killed++
+		default:
+			result = fmt.Sprintf("killed by wrong domain: %v", vs[0].Code)
+		}
+		fmt.Printf("  %-24s %-5s %-44s %s\n", m.domain, m.query, m.defect, result)
+	}
+	fmt.Printf("%d/%d mutations killed by exactly their own domain\n\n", killed, len(mutations))
+}
+
+func editStep(qp *pdwqo.QueryPlan, step int, old, new string) bool {
+	sql := qp.DSQL.Steps[step].SQL
+	if !strings.Contains(sql, old) {
+		return false
+	}
+	qp.DSQL.Steps[step].SQL = strings.Replace(sql, old, new, 1)
+	return true
+}
+
+func allCode(vs []planverify.Violation, code planverify.Code) bool {
+	for _, v := range vs {
+		if v.Code != code {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,6 @@
 // Command pdwlint runs the project's static-analysis suite over the
-// module: comparechecked, spanclose, lockdiscipline, sentinelwrap and
-// baretruthy.
+// module: comparechecked, spanclose, lockdiscipline, sentinelwrap,
+// baretruthy, ctxflow and lostcast.
 // It loads packages with `go list -export -deps -json` (no network, no
 // external analysis dependencies) and prints findings as
 // file:line:col: message (analyzer), exiting 1 when any finding
@@ -21,13 +21,17 @@ import (
 	"pdwqo/internal/analysis"
 	"pdwqo/internal/analysis/passes/baretruthy"
 	"pdwqo/internal/analysis/passes/comparechecked"
+	"pdwqo/internal/analysis/passes/ctxflow"
 	"pdwqo/internal/analysis/passes/lockdiscipline"
+	"pdwqo/internal/analysis/passes/lostcast"
 	"pdwqo/internal/analysis/passes/sentinelwrap"
 	"pdwqo/internal/analysis/passes/spanclose"
 )
 
 var analyzers = []*analysis.Analyzer{
 	baretruthy.Analyzer,
+	ctxflow.Analyzer,
+	lostcast.Analyzer,
 	comparechecked.Analyzer,
 	spanclose.Analyzer,
 	lockdiscipline.Analyzer,

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Def is one definition of a function-local variable: a parameter, a
+// declaration with initializer, or an assignment. A multi-value
+// assignment produces one Def per left-hand name, all sharing the RHS
+// with their result position recorded.
+type Def struct {
+	Obj   types.Object
+	Ident *ast.Ident // the defining occurrence
+	// RHS is the defining expression: the initializer or assigned value,
+	// or the shared call in a multi-value assignment. Nil for parameters
+	// and bare declarations.
+	RHS ast.Expr
+	// ResultIndex is the position within a multi-value RHS, -1 otherwise.
+	ResultIndex int
+	IsParam     bool
+	// Uses are the identifiers that (may) read this definition.
+	Uses []*ast.Ident
+
+	loops []ast.Node
+	// effect is where the definition becomes visible to later reads. For
+	// assignments this is the end of the statement, so that a RHS read of
+	// the same variable (ctx, cancel = WithTimeout(ctx, d)) binds to the
+	// prior definition, matching evaluation order.
+	effect token.Pos
+}
+
+// DefUse holds lexical def-use chains for one function: an SSA-lite
+// approximation where every use binds to the lexically nearest preceding
+// definition of its object. Loop back-edges are approximated by also
+// crediting a definition with any earlier use that shares an enclosing
+// loop, so a value consumed on the next iteration still counts as used.
+type DefUse struct {
+	Fn    *ast.FuncDecl
+	Defs  []*Def
+	byObj map[types.Object][]*Def
+}
+
+// DefsOf returns the definitions of one object in lexical order.
+func (du *DefUse) DefsOf(obj types.Object) []*Def { return du.byObj[obj] }
+
+// Params returns the parameter definitions (including the receiver).
+func (du *DefUse) Params() []*Def {
+	var out []*Def
+	for _, d := range du.Defs {
+		if d.IsParam {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+type duUse struct {
+	id    *ast.Ident
+	obj   types.Object
+	loops []ast.Node
+}
+
+// BuildDefUse computes def-use chains for fd's body.
+func BuildDefUse(info *types.Info, fd *ast.FuncDecl) *DefUse {
+	du := &DefUse{Fn: fd, byObj: map[types.Object][]*Def{}}
+	if fd.Body == nil {
+		return du
+	}
+
+	tracked := map[types.Object]bool{}
+	defIdents := map[*ast.Ident]bool{}
+	addDef := func(d *Def) {
+		if d.Obj == nil {
+			return
+		}
+		if !d.effect.IsValid() {
+			d.effect = d.Ident.Pos()
+		}
+		tracked[d.Obj] = true
+		defIdents[d.Ident] = true
+		du.Defs = append(du.Defs, d)
+		du.byObj[d.Obj] = append(du.byObj[d.Obj], d)
+	}
+
+	param := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					addDef(&Def{Obj: obj, Ident: name, ResultIndex: -1, IsParam: true})
+				}
+			}
+		}
+	}
+	param(fd.Recv)
+	param(fd.Type.Params)
+	param(fd.Type.Results)
+
+	// objOf resolves an identifier on either side of := (new object) or
+	// = (existing object).
+	objOf := func(id *ast.Ident) types.Object {
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+
+	var stack []ast.Node
+	var uses []duUse
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		enclosingLoops := func() []ast.Node {
+			var out []ast.Node
+			for _, s := range stack {
+				switch s.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					out = append(out, s)
+				}
+			}
+			return out
+		}
+
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE && x.Tok != token.ASSIGN {
+				return true // op-assignments (+= etc.) read and write: uses
+			}
+			multi := len(x.Lhs) > 1 && len(x.Rhs) == 1
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				d := &Def{Obj: objOf(id), Ident: id, ResultIndex: -1, loops: enclosingLoops(), effect: x.End()}
+				if multi {
+					d.RHS = x.Rhs[0]
+					d.ResultIndex = i
+				} else if i < len(x.Rhs) {
+					d.RHS = x.Rhs[i]
+				}
+				addDef(d)
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if name.Name == "_" {
+					continue
+				}
+				d := &Def{Obj: info.Defs[name], Ident: name, ResultIndex: -1, loops: enclosingLoops(), effect: x.End()}
+				if len(x.Values) == 1 && len(x.Names) > 1 {
+					d.RHS = x.Values[0]
+					d.ResultIndex = i
+				} else if i < len(x.Values) {
+					d.RHS = x.Values[i]
+				}
+				addDef(d)
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{x.Key, x.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					addDef(&Def{Obj: objOf(id), Ident: id, ResultIndex: -1, loops: enclosingLoops(), effect: x.X.End()})
+				}
+			}
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil || defIdents[x] {
+				return true
+			}
+			uses = append(uses, duUse{id: x, obj: obj, loops: enclosingLoops()})
+		}
+		return true
+	})
+
+	// An identifier in Uses that is actually a plain-assignment target is
+	// a definition, not a read; drop those from the use list.
+	filtered := uses[:0]
+	for _, u := range uses {
+		if !defIdents[u.id] && tracked[u.obj] {
+			filtered = append(filtered, u)
+		}
+	}
+	uses = filtered
+
+	for obj, defs := range du.byObj {
+		sort.Slice(defs, func(i, j int) bool { return defs[i].effect < defs[j].effect })
+		du.byObj[obj] = defs
+	}
+
+	sharesLoop := func(a, b []ast.Node) bool {
+		for _, x := range a {
+			for _, y := range b {
+				if x == y {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, u := range uses {
+		defs := du.byObj[u.obj]
+		var last *Def
+		for _, d := range defs {
+			if d.effect < u.id.Pos() {
+				last = d
+			} else if sharesLoop(d.loops, u.loops) {
+				// Back-edge: a later definition inside a common loop can
+				// reach this use on the next iteration.
+				d.Uses = append(d.Uses, u.id)
+			}
+		}
+		if last != nil {
+			last.Uses = append(last.Uses, u.id)
+		}
+	}
+	return du
+}

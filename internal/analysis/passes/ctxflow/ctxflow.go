@@ -1,0 +1,182 @@
+// Package ctxflow checks that a function's context.Context parameter
+// actually flows into the context-accepting calls it makes. A function
+// that receives ctx but passes context.Background() or context.TODO()
+// downstream — or never threads its ctx into any context-accepting call
+// at all — silently detaches that call chain from cancellation and
+// deadlines, which is how optimizer timeouts and engine step timeouts
+// stop propagating.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pdwqo/internal/analysis"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context parameters that do not flow into context-accepting calls",
+	Run:  run,
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// contextConstructor reports a call to context.Background or context.TODO.
+func contextConstructor(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return "", false
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// callSig returns the signature of a call's callee, nil for conversions
+// and built-ins.
+func callSig(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.Types[call.Fun].Type
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the type of argument position i, handling variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if i >= n-1 && sig.Variadic() {
+		if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	du := analysis.BuildDefUse(pass.TypesInfo, fd)
+	var ctxParams []*analysis.Def
+	for _, p := range du.Params() {
+		if isContextType(p.Obj.Type()) {
+			ctxParams = append(ctxParams, p)
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+
+	// flow is the set of locals transitively derived from a context
+	// parameter (ctx itself, children from WithCancel/WithTimeout, ...).
+	flow := map[types.Object]bool{}
+	for _, p := range ctxParams {
+		flow[p.Obj] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range du.Defs {
+			if flow[d.Obj] || d.RHS == nil || !isContextType(d.Obj.Type()) {
+				continue
+			}
+			if usesFlowing(pass, d.RHS, flow) {
+				flow[d.Obj] = true
+				changed = true
+			}
+		}
+	}
+
+	detached := false
+	acceptsCtx := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := callSig(pass.TypesInfo, call)
+		if sig == nil {
+			return true
+		}
+		for i, arg := range call.Args {
+			if !isContextType(paramType(sig, i)) {
+				continue
+			}
+			acceptsCtx = true
+			if name, ok := contextConstructor(pass.TypesInfo, arg); ok {
+				detached = true
+				pass.Reportf(arg.Pos(),
+					"%s receives a context parameter but passes context.%s() here; thread the caller's context through",
+					fd.Name.Name, name)
+			}
+		}
+		return true
+	})
+
+	if detached {
+		return
+	}
+	// No call was explicitly detached; if the function makes
+	// context-accepting calls but its ctx parameter is never read at
+	// all, the chain is broken by omission instead.
+	for _, p := range ctxParams {
+		if len(p.Uses) == 0 && acceptsCtx {
+			pass.Reportf(p.Ident.Pos(),
+				"context parameter %s is never used, but %s makes calls that accept a context",
+				p.Ident.Name, fd.Name.Name)
+		}
+	}
+}
+
+// usesFlowing reports whether the expression reads any flowing variable.
+func usesFlowing(pass *analysis.Pass, e ast.Expr, flow map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && flow[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,60 @@
+package a
+
+import "context"
+
+func blocking(ctx context.Context, n int) error { _ = ctx; _ = n; return nil }
+
+func work(n int) int { return n + 1 }
+
+// detached passes a fresh root context despite receiving one.
+func detached(ctx context.Context) error {
+	return blocking(context.Background(), 1) // want `detached receives a context parameter but passes context\.Background\(\)`
+}
+
+func detachedTODO(ctx context.Context) error {
+	return blocking(context.TODO(), 1) // want `passes context\.TODO\(\)`
+}
+
+// threaded passes its own context: fine.
+func threaded(ctx context.Context) error {
+	return blocking(ctx, 1)
+}
+
+// derived flows through WithCancel: fine.
+func derived(ctx context.Context) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return blocking(cctx, 1)
+}
+
+// rebound reassigns ctx from itself; the RHS read must bind to the
+// parameter, not the assignment's own target.
+func rebound(ctx context.Context) error {
+	var cancel context.CancelFunc
+	ctx, cancel = context.WithCancel(ctx)
+	defer cancel()
+	return blocking(ctx, 6)
+}
+
+// unusedCtx never reads ctx while calling context-accepting code.
+func unusedCtx(ctx context.Context) error { // want `context parameter ctx is never used`
+	bg := context.Background()
+	return blocking(bg, 2)
+}
+
+// unusedNoCalls has no context-accepting callee, so an unused ctx is an
+// interface obligation, not a broken chain.
+func unusedNoCalls(ctx context.Context) int {
+	return work(3)
+}
+
+// entryPoint has no ctx parameter; minting a root context is its job.
+func entryPoint() error {
+	return blocking(context.Background(), 4)
+}
+
+// allowDirective carries a reviewed justification.
+func allowDirective(ctx context.Context) error {
+	//pdwlint:allow ctxflow
+	return blocking(context.Background(), 5)
+}

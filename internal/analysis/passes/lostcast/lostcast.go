@@ -1,0 +1,136 @@
+// Package lostcast flags calls to the engine's checked value helpers —
+// exec.CastValue and the *Checked family (types.CompareChecked,
+// exec.TruthyChecked, exec.CompareRowsChecked, ...) — whose error result
+// is dead: discarded into the blank identifier, assigned to a variable
+// that is never read again, or dropped wholesale by using the call as a
+// statement. These helpers exist precisely because their unchecked
+// counterparts panic or silently mis-compare on mixed kinds; losing the
+// error turns a typed failure back into silent corruption.
+package lostcast
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pdwqo/internal/analysis"
+)
+
+// Analyzer is the lostcast pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lostcast",
+	Doc:  "flag checked cast/compare helpers whose error result is dead",
+	Run:  run,
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// checkedHelper reports whether the call targets a checked helper, and
+// returns its display name and the result positions carrying errors.
+func checkedHelper(info *types.Info, call *ast.CallExpr) (string, []int, bool) {
+	var id *ast.Ident
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return "", nil, false
+	}
+	obj := info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return "", nil, false
+	}
+	name := obj.Name()
+	if name != "CastValue" && !strings.HasSuffix(name, "Checked") {
+		return "", nil, false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return "", nil, false
+	}
+	var errPos []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Implements(sig.Results().At(i).Type(), errorType) {
+			errPos = append(errPos, i)
+		}
+	}
+	if len(errPos) == 0 {
+		return "", nil, false
+	}
+	return name, errPos, true
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	du := analysis.BuildDefUse(pass.TypesInfo, fd)
+
+	// defByIdent finds the definition created at a given LHS identifier.
+	defByIdent := func(id *ast.Ident) *analysis.Def {
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		for _, d := range du.DefsOf(obj) {
+			if d.Ident == id {
+				return d
+			}
+		}
+		return nil
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok {
+				if name, _, ok := checkedHelper(pass.TypesInfo, call); ok {
+					pass.Reportf(call.Pos(),
+						"%s used as a statement drops its result and its error", name)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(x.Rhs) != 1 {
+				return true
+			}
+			call, ok := x.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, errPos, ok := checkedHelper(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			for _, i := range errPos {
+				if i >= len(x.Lhs) {
+					continue
+				}
+				id, ok := x.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(id.Pos(),
+						"error result of %s is discarded; handle it or carry a justification", name)
+					continue
+				}
+				if d := defByIdent(id); d != nil && len(d.Uses) == 0 {
+					pass.Reportf(id.Pos(),
+						"error result of %s is assigned to %s but never read", name, id.Name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,13 @@
+package lostcast_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pdwqo/internal/analysis"
+	"pdwqo/internal/analysis/passes/lostcast"
+)
+
+func TestLostCast(t *testing.T) {
+	analysis.RunTest(t, filepath.Join("testdata", "src", "a"), lostcast.Analyzer)
+}

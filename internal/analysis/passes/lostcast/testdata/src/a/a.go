@@ -1,0 +1,66 @@
+package a
+
+import (
+	"pdwqo/internal/exec"
+	"pdwqo/internal/types"
+)
+
+func sink(args ...any) {}
+
+func blankErr(v types.Value) types.Value {
+	out, _ := exec.CastValue(v, types.KindInt) // want `error result of CastValue is discarded`
+	return out
+}
+
+func handled(v types.Value) (types.Value, error) {
+	out, err := exec.CastValue(v, types.KindInt)
+	if err != nil {
+		return types.Null, err
+	}
+	return out, nil
+}
+
+func returned(v types.Value) (types.Value, error) {
+	return exec.CastValue(v, types.KindDate)
+}
+
+func statementDrop(v types.Value) {
+	exec.CastValue(v, types.KindInt) // want `CastValue used as a statement drops its result and its error`
+}
+
+func compareBlank(a, b types.Value) int {
+	c, _ := types.CompareChecked(a, b) // want `error result of CompareChecked is discarded`
+	return c
+}
+
+func compareHandled(a, b types.Value) (int, error) {
+	return types.CompareChecked(a, b)
+}
+
+// loopCarried reads err at the top of the next iteration; the back-edge
+// approximation must count that as a use.
+func loopCarried(vs []types.Value) error {
+	var err error
+	for _, v := range vs {
+		if err != nil {
+			return err
+		}
+		_, err = exec.CastValue(v, types.KindInt)
+	}
+	return err
+}
+
+// shadowedRead: the first err is read before the second assignment.
+func shadowedRead(a, b types.Value) types.Value {
+	out, err := exec.CastValue(a, types.KindInt)
+	sink(err)
+	out2, err := exec.CastValue(b, types.KindInt) // want `error result of CastValue is assigned to err but never read`
+	sink(out, out2)
+	return out2
+}
+
+func allowDirective(v types.Value) types.Value {
+	//pdwlint:allow lostcast
+	out, _ := exec.CastValue(v, types.KindInt)
+	return out
+}

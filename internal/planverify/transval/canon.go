@@ -1,0 +1,147 @@
+package transval
+
+import (
+	"fmt"
+	"strings"
+
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/sqlparser"
+	"pdwqo/internal/types"
+)
+
+// Both sides of the translation validator render predicates into the same
+// canonical text before comparing: column references collapse to c<id>,
+// parameter slots to ?<slot>, constants to their SQL literal form, and
+// symmetric/flippable comparisons to a fixed operand order. Conjuncts that
+// reference no columns and carry no parameter slot (the generator's `1 = 1`
+// EXISTS default, the empty-Values `1 = 0` guard) are dropped symmetrically
+// on both sides, so only value-bearing predicate content is compared.
+
+// Logic/arithmetic operators referenced across both interpreters.
+const (
+	binOpAnd = sqlparser.OpAnd
+	binOpOr  = sqlparser.OpOr
+	binOpDiv = sqlparser.OpDiv
+)
+
+// sqlTypeName mirrors dsql's typeName mapping so CAST targets canonicalize
+// to the same text the generator emitted.
+func sqlTypeName(k types.Kind) string {
+	switch k {
+	case types.KindBool:
+		return "BIT"
+	case types.KindInt:
+		return "BIGINT"
+	case types.KindFloat:
+		return "FLOAT"
+	case types.KindString:
+		return "VARCHAR"
+	case types.KindDate:
+		return "DATE"
+	default:
+		return "BIGINT"
+	}
+}
+
+// canonBinary renders a binary operation with normalized operand order:
+// > and >= flip into < and <=, and the symmetric = / <> sort their operand
+// texts, so `a = b` and `b = a` compare equal.
+func canonBinary(op sqlparser.BinOp, l, r string) string {
+	switch op {
+	case sqlparser.OpGt, sqlparser.OpGe:
+		op = op.Flip()
+		l, r = r, l
+	case sqlparser.OpEq, sqlparser.OpNe:
+		if r < l {
+			l, r = r, l
+		}
+	}
+	return "(" + l + " " + op.String() + " " + r + ")"
+}
+
+// canonScalar renders a bound (plan-side) scalar canonically.
+func canonScalar(e algebra.Scalar) string {
+	switch x := e.(type) {
+	case *algebra.ColRef:
+		return fmt.Sprintf("c%d", x.ID)
+	case *algebra.Const:
+		if slot, ok := x.Slot(); ok {
+			return fmt.Sprintf("?%d", slot)
+		}
+		return x.Val.SQLLiteral()
+	case *algebra.Binary:
+		return canonBinary(x.Op, canonScalar(x.L), canonScalar(x.R))
+	case *algebra.Not:
+		return "NOT (" + canonScalar(x.E) + ")"
+	case *algebra.Neg:
+		// The parser folds "-5" into a negative literal, so a plan-side
+		// negation of a plain numeric constant canonicalizes the same way.
+		if c, ok := x.E.(*algebra.Const); ok && c.Param == 0 && c.Val.Kind().Numeric() {
+			if c.Val.Kind() == types.KindInt {
+				return types.NewInt(-c.Val.Int()).SQLLiteral()
+			}
+			return types.NewFloat(-c.Val.Float()).SQLLiteral()
+		}
+		return "(-" + canonScalar(x.E) + ")"
+	case *algebra.IsNull:
+		if x.Negated {
+			return canonScalar(x.E) + " IS NOT NULL"
+		}
+		return canonScalar(x.E) + " IS NULL"
+	case *algebra.Like:
+		n := ""
+		if x.Negated {
+			n = "NOT "
+		}
+		return canonScalar(x.E) + " " + n + "LIKE " + types.NewString(x.Pattern).SQLLiteral()
+	case *algebra.InList:
+		parts := make([]string, len(x.List))
+		for i, el := range x.List {
+			parts[i] = canonScalar(el)
+		}
+		n := ""
+		if x.Negated {
+			n = "NOT "
+		}
+		return canonScalar(x.E) + " " + n + "IN (" + strings.Join(parts, ", ") + ")"
+	case *algebra.Func:
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = canonScalar(a)
+		}
+		return x.Name + "(" + strings.Join(parts, ", ") + ")"
+	case *algebra.Case:
+		var b strings.Builder
+		b.WriteString("CASE")
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN " + canonScalar(w.Cond) + " THEN " + canonScalar(w.Then))
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE " + canonScalar(x.Else))
+		}
+		b.WriteString(" END")
+		return b.String()
+	case *algebra.Cast:
+		return "CAST(" + canonScalar(x.E) + " AS " + sqlTypeName(x.To) + ")"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// scalarValueBearing reports whether a plan-side conjunct references any
+// column or parameter slot; value-free conjuncts are generator scaffolding
+// and are excluded from the predicate comparison.
+func scalarValueBearing(e algebra.Scalar) bool {
+	found := false
+	algebra.VisitScalar(e, func(s algebra.Scalar) {
+		switch x := s.(type) {
+		case *algebra.ColRef:
+			found = true
+		case *algebra.Const:
+			if x.Param > 0 {
+				found = true
+			}
+		}
+	})
+	return found
+}

@@ -1,0 +1,259 @@
+package transval
+
+import (
+	"testing"
+
+	"pdwqo/internal/algebra"
+	"pdwqo/internal/core"
+	"pdwqo/internal/cost"
+	"pdwqo/internal/tpch"
+	"pdwqo/internal/types"
+)
+
+// seeded returns an interpreter with one pre-derived input relation, so
+// derive() tests exercise exactly one operator.
+func seeded(in *absRel) (*planInterp, *core.Option) {
+	pi := newPlanInterp()
+	inOpt := &core.Option{}
+	pi.rels[inOpt] = in
+	return pi, inOpt
+}
+
+func hashRel(ids ...algebra.ColumnID) *absRel {
+	r := &absRel{dist: absDist{Kind: core.DistHash, Cols: algebra.NewColSet(ids[0])}}
+	for _, id := range ids {
+		r.cols = append(r.cols, absCol{ID: id, Type: types.KindInt,
+			Origins: map[string]struct{}{"t.x": {}}})
+	}
+	return r
+}
+
+func withDist(r *absRel, k core.DistKind) *absRel {
+	c := &absRel{cols: cloneCols(r.cols), dist: absDist{Kind: k}}
+	return c
+}
+
+func TestDeriveMoves(t *testing.T) {
+	cases := []struct {
+		kind cost.MoveKind
+		want core.DistKind
+	}{
+		{cost.Shuffle, core.DistHash},
+		{cost.Trim, core.DistHash},
+		{cost.Broadcast, core.DistReplicated},
+		{cost.ControlNodeMove, core.DistReplicated},
+		{cost.ReplicatedBroadcast, core.DistReplicated},
+		{cost.PartitionMove, core.DistSingle},
+		{cost.RemoteCopySingle, core.DistSingle},
+	}
+	for _, c := range cases {
+		pi, in := seeded(hashRel(7))
+		o := &core.Option{Move: &core.MoveSpec{Kind: c.kind, Col: 7}, Inputs: []*core.Option{in}}
+		r, ok := pi.derive(o)
+		if !ok || r.dist.Kind != c.want {
+			t.Errorf("%v: dist = %v, ok=%v, want kind %v", c.kind, r.dist, ok, c.want)
+		}
+		if c.want == core.DistHash && !r.dist.Cols.Has(7) {
+			t.Errorf("%v: hash class missing move column", c.kind)
+		}
+	}
+}
+
+func TestDeriveValues(t *testing.T) {
+	pi := newPlanInterp()
+	meta := []algebra.ColumnMeta{{ID: 1, Name: "a", Type: types.KindInt}}
+
+	empty := &core.Option{Op: &algebra.Values{Cols: meta}}
+	r, ok := pi.derive(empty)
+	if !ok || !r.cols[0].Nullable || r.dist.Kind != core.DistReplicated {
+		t.Errorf("empty values: %+v ok=%v", r, ok)
+	}
+
+	withNull := &core.Option{Op: &algebra.Values{Cols: meta,
+		Rows: [][]types.Value{{types.Null}}}}
+	if r, _ := pi.derive(withNull); !r.cols[0].Nullable {
+		t.Error("NULL literal row must derive nullable")
+	}
+
+	plain := &core.Option{Op: &algebra.Values{Cols: meta,
+		Rows: [][]types.Value{{types.NewInt(4)}}}}
+	if r, _ := pi.derive(plain); r.cols[0].Nullable {
+		t.Error("non-NULL literal row must derive non-nullable")
+	}
+}
+
+func TestDeriveGet(t *testing.T) {
+	pi := newPlanInterp()
+	var hashTab, replTab *algebra.Get
+	for _, tb := range tpch.Tables() {
+		cols := make([]algebra.ColumnMeta, len(tb.Columns))
+		for i, c := range tb.Columns {
+			cols[i] = algebra.ColumnMeta{ID: algebra.ColumnID(i + 1), Name: c.Name, Type: c.Type}
+		}
+		g := &algebra.Get{Table: tb, Cols: cols}
+		if tb.Name == "lineitem" {
+			hashTab = g
+		}
+		if tb.Name == "nation" {
+			replTab = g
+		}
+	}
+	r, ok := pi.derive(&core.Option{Op: hashTab})
+	if !ok || r.dist.Kind != core.DistHash || len(r.dist.Cols) != 1 {
+		t.Errorf("lineitem get dist = %v", r.dist)
+	}
+	if _, has := r.cols[0].Origins["lineitem.l_orderkey"]; !has {
+		t.Errorf("get origins = %v", r.cols[0].Origins)
+	}
+	r, ok = pi.derive(&core.Option{Op: replTab})
+	if !ok || r.dist.Kind != core.DistReplicated {
+		t.Errorf("nation get dist = %v", r.dist)
+	}
+}
+
+func TestDeriveProjectComputed(t *testing.T) {
+	pi, in := seeded(hashRel(1, 2))
+	proj := &algebra.Project{Defs: []algebra.ProjDef{
+		{ID: 9, Expr: &algebra.Func{Name: "YEAR",
+			Args: []algebra.Scalar{col(1, types.KindDate)}, Out: types.KindInt}},
+		{ID: 10, Expr: col(2, types.KindInt)},
+	}}
+	r, ok := pi.derive(&core.Option{Op: proj, Inputs: []*core.Option{in}})
+	if !ok {
+		t.Fatal("project underivable")
+	}
+	if r.cols[0].Type != types.KindInt {
+		t.Errorf("computed col type = %v", r.cols[0].Type)
+	}
+	if _, has := r.cols[0].Origins["t.x"]; !has {
+		t.Errorf("computed col origins = %v", r.cols[0].Origins)
+	}
+	// The rename c2 -> c10 must keep the hash class alive when c1 drops.
+	proj2 := &algebra.Project{Defs: []algebra.ProjDef{{ID: 10, Expr: col(1, types.KindInt)}}}
+	r, _ = pi.derive(&core.Option{Op: proj2, Inputs: []*core.Option{in}})
+	if !r.dist.Cols.Has(10) {
+		t.Errorf("renamed hash class = %v", r.dist)
+	}
+}
+
+func TestDeriveUnionAll(t *testing.T) {
+	mk := func(l, r *absRel) (*planInterp, *core.Option) {
+		pi := newPlanInterp()
+		lo, ro := &core.Option{}, &core.Option{}
+		pi.rels[lo] = l
+		pi.rels[ro] = r
+		return pi, &core.Option{Op: &algebra.UnionAll{}, Inputs: []*core.Option{lo, ro}}
+	}
+	base := hashRel(1)
+
+	pi, o := mk(withDist(base, core.DistSingle), withDist(base, core.DistSingle))
+	if r, ok := pi.derive(o); !ok || r.dist.Kind != core.DistSingle {
+		t.Error("single+single union")
+	}
+	pi, o = mk(withDist(base, core.DistReplicated), withDist(base, core.DistReplicated))
+	if r, ok := pi.derive(o); !ok || r.dist.Kind != core.DistReplicated {
+		t.Error("repl+repl union")
+	}
+	pi, o = mk(hashRel(1), hashRel(1))
+	if r, ok := pi.derive(o); !ok || !r.dist.Cols.Has(1) {
+		t.Error("hash+hash union with shared class")
+	}
+	left, right := hashRel(1, 2), hashRel(1, 2)
+	right.dist = absDist{Kind: core.DistHash, Cols: algebra.NewColSet(2)}
+	pi, o = mk(left, right)
+	if _, ok := pi.derive(o); ok {
+		t.Error("disjoint hash classes must be underivable")
+	}
+	pi, o = mk(withDist(base, core.DistSingle), withDist(base, core.DistReplicated))
+	if _, ok := pi.derive(o); ok {
+		t.Error("mixed single+repl must be underivable")
+	}
+
+	// Nullability and origins union across branches.
+	l2, r2 := hashRel(1), hashRel(1)
+	r2.cols[0].Nullable = true
+	r2.cols[0].Origins = map[string]struct{}{"u.y": {}}
+	pi, o = mk(l2, r2)
+	if r, _ := pi.derive(o); !r.cols[0].Nullable || len(r.cols[0].Origins) != 2 {
+		t.Errorf("union col merge = %+v", r.cols[0])
+	}
+}
+
+func TestDeriveGroupBy(t *testing.T) {
+	sum := algebra.AggDef{Func: algebra.AggSum, Arg: col(2, types.KindInt), ID: 9}
+
+	// Keyless SUM over a single-node input: nullable result.
+	pi, in := seeded(withDist(hashRel(1, 2), core.DistSingle))
+	gb := &algebra.GroupBy{Aggs: []algebra.AggDef{sum}}
+	r, ok := pi.derive(&core.Option{Op: gb, Inputs: []*core.Option{in}})
+	if !ok || !r.cols[0].Nullable {
+		t.Errorf("keyless sum: %+v ok=%v", r.cols, ok)
+	}
+
+	// Keyless aggregate over a hash placement is not locally computable.
+	pi, in = seeded(hashRel(1, 2))
+	if _, ok := pi.derive(&core.Option{Op: gb, Inputs: []*core.Option{in}}); ok {
+		t.Error("keyless agg over hash must be underivable")
+	}
+
+	// Partial phase is computable anywhere; the class restricts to keys.
+	partial := &algebra.GroupBy{Keys: []algebra.ColumnID{2}, Aggs: []algebra.AggDef{sum},
+		Phase: algebra.AggPartial}
+	pi, in = seeded(hashRel(1, 2))
+	if r, ok := pi.derive(&core.Option{Op: partial, Inputs: []*core.Option{in}}); !ok || len(r.dist.Cols) != 0 {
+		t.Errorf("partial over non-key hash: dist = %v ok=%v", r.dist, ok)
+	}
+
+	// Keyed complete agg whose keys cover the hash class is fine.
+	keyed := &algebra.GroupBy{Keys: []algebra.ColumnID{1}, Aggs: []algebra.AggDef{sum}}
+	pi, in = seeded(hashRel(1, 2))
+	if r, ok := pi.derive(&core.Option{Op: keyed, Inputs: []*core.Option{in}}); !ok || !r.dist.Cols.Has(1) {
+		t.Errorf("keyed agg: dist = %v ok=%v", r.dist, ok)
+	}
+
+	// Keys disjoint from the hash class: rows for one group live on many
+	// nodes, so the complete phase is underivable.
+	offKey := &algebra.GroupBy{Keys: []algebra.ColumnID{2}, Aggs: []algebra.AggDef{sum}}
+	pi, in = seeded(hashRel(1, 2))
+	if _, ok := pi.derive(&core.Option{Op: offKey, Inputs: []*core.Option{in}}); ok {
+		t.Error("off-key complete agg must be underivable")
+	}
+}
+
+func TestRelRecordsDistributionViolation(t *testing.T) {
+	// An underivable placement must surface CodeDistribution and fall
+	// back to the recorded one so later steps stay analyzable.
+	pi, in := seeded(hashRel(1, 2))
+	gb := &algebra.GroupBy{Aggs: []algebra.AggDef{{Func: algebra.AggSum, Arg: col(2, types.KindInt), ID: 9}}}
+	o := &core.Option{Op: gb, Inputs: []*core.Option{in}, Dist: core.Single()}
+	r := pi.rel(o)
+	if len(pi.vs) != 1 || pi.vs[0].Code != CodeDistribution {
+		t.Fatalf("violations = %v", pi.vs)
+	}
+	if r.dist.Kind != core.DistSingle {
+		t.Errorf("fallback dist = %v, want recorded single", r.dist)
+	}
+	// Memoized: a second read must not re-report.
+	pi.rel(o)
+	if len(pi.vs) != 1 {
+		t.Error("memoized rel re-reported")
+	}
+
+	// A derivable but mismatching recorded placement also fires.
+	pi2, in2 := seeded(hashRel(1))
+	o2 := &core.Option{Move: &core.MoveSpec{Kind: cost.Broadcast}, Inputs: []*core.Option{in2},
+		Dist: core.Single()}
+	pi2.rel(o2)
+	if len(pi2.vs) != 1 || pi2.vs[0].Code != CodeDistribution {
+		t.Fatalf("mismatch violations = %v", pi2.vs)
+	}
+}
+
+func TestLineageNilSafe(t *testing.T) {
+	if out := Lineage(nil); len(out) != 0 {
+		t.Error("nil plan lineage")
+	}
+	if out := Lineage(&core.Plan{}); len(out) != 0 {
+		t.Error("rootless plan lineage")
+	}
+}

@@ -134,6 +134,16 @@ type Lit struct {
 
 func (*Lit) expr() {}
 
+// ParamExpr is a plan-cache parameter marker (dsql.Placeholder) re-parsed
+// from generated step SQL. Slot is the 0-based literal-slot index; Pos is
+// the byte offset of the marker in the source.
+type ParamExpr struct {
+	Slot int
+	Pos  int
+}
+
+func (*ParamExpr) expr() {}
+
 // BinOp enumerates binary operators.
 type BinOp uint8
 
@@ -328,6 +338,8 @@ func FormatExpr(e Expr) string {
 		return x.String()
 	case *Lit:
 		return x.Value.SQLLiteral()
+	case *ParamExpr:
+		return fmt.Sprintf("@p%d", x.Slot)
 	case *BinExpr:
 		return fmt.Sprintf("(%s %s %s)", FormatExpr(x.L), x.Op, FormatExpr(x.R))
 	case *NotExpr:

@@ -1,0 +1,22 @@
+package sqlparser
+
+import "fmt"
+
+// ParseError is the typed error for lexical and syntactic failures. All
+// parser and lexer errors are *ParseError, so callers that feed generated
+// SQL back through the parser (translation validation of DSQL steps) can
+// point at the exact byte of the step text that failed instead of quoting
+// a line/column pair from a one-line string. Offset is the byte offset
+// into the source where the error was detected; Line and Col are the
+// 1-based coordinates derived from it. Error keeps the historical
+// "sql:line:col:" rendering.
+type ParseError struct {
+	Offset int // byte offset into the parsed source
+	Line   int
+	Col    int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql:%d:%d: %s", e.Line, e.Col, e.Msg)
+}

@@ -14,6 +14,7 @@ const (
 	tokNumber
 	tokString
 	tokPunct // single- or double-character operator/punctuation
+	tokParam // plan-cache parameter marker: NUL '?' digits NUL
 )
 
 // token is one lexical unit. For tokIdent, Text preserves the original
@@ -48,7 +49,7 @@ func (l *lexer) errf(pos int, format string, args ...any) error {
 			col++
 		}
 	}
-	return fmt.Errorf("sql:%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+	return &ParseError{Offset: pos, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (l *lexer) skipSpace() error {
@@ -136,7 +137,40 @@ func (l *lexer) next() (token, error) {
 			}
 			break
 		}
+		// Exponent suffix (1e+06, 2.5E-3): floats folded at compile time
+		// render in shortest form, which may use scientific notation.
+		// Only consumed when a digit follows, so "1e" stays number+ident.
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			j := l.pos + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && isDigit(l.src[j]) {
+				for j < len(l.src) && isDigit(l.src[j]) {
+					j++
+				}
+				l.pos = j
+			}
+		}
 		return token{Kind: tokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+
+	case c == 0x00:
+		// Plan-cache parameter marker (dsql.Placeholder): NUL '?' digits
+		// NUL. Text carries the decimal slot index without the framing.
+		i := l.pos + 1
+		if i >= len(l.src) || l.src[i] != '?' {
+			return token{}, l.errf(start, "stray NUL byte")
+		}
+		i++
+		ds := i
+		for i < len(l.src) && isDigit(l.src[i]) {
+			i++
+		}
+		if i == ds || i >= len(l.src) || l.src[i] != 0x00 {
+			return token{}, l.errf(start, "malformed parameter marker")
+		}
+		l.pos = i + 1
+		return token{Kind: tokParam, Text: l.src[ds:i], Pos: start}, nil
 
 	case c == '\'':
 		var b strings.Builder

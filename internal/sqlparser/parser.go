@@ -689,6 +689,14 @@ func (p *parser) parsePrimary() (Expr, error) {
 		p.advance()
 		return &Lit{Value: types.NewString(t.Text), Pos: t.Pos}, nil
 
+	case tokParam:
+		p.advance()
+		n, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return nil, p.errHere("invalid parameter marker %q", t.Text)
+		}
+		return &ParamExpr{Slot: n, Pos: t.Pos}, nil
+
 	case tokPunct:
 		if t.Text == "(" {
 			p.advance()

@@ -34,6 +34,7 @@ import (
 	"pdwqo/internal/normalize"
 	"pdwqo/internal/plancache"
 	"pdwqo/internal/planverify"
+	"pdwqo/internal/planverify/transval"
 	"pdwqo/internal/sqlparser"
 	"pdwqo/internal/tpch"
 	"pdwqo/internal/trace"
@@ -650,6 +651,10 @@ func (db *DB) compile(sql string, opts Options, pq *normalize.ParamQuery) (*Quer
 			art.Interesting = opt.Interesting
 		}
 		rep := planverify.Check(art)
+		// Translation validation: re-parse every emitted DSQL step and
+		// abstractly re-interpret it (lineage, nullability, distribution)
+		// against the plan fragment it was cut from.
+		rep.Violations = append(rep.Violations, transval.Check(plan, dp, db.shell)...)
 		sp.Int("violations", int64(len(rep.Violations)))
 		if verr := rep.Err(); verr != nil {
 			return fail(sp, verr)
